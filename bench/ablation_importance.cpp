@@ -1,0 +1,86 @@
+// Ablation: importance criterion fed to the §5 search. The search is
+// score-agnostic; this compares magnitude (the paper's choice), pure
+// first-order Taylor (|w * dL/dw| from a real backward pass), and a
+// 50/50 blend — measured as actual test accuracy of the pruned MLP
+// before any fine-tuning (the criterion's own merit).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "nn/trainer.h"
+#include "prune/importance.h"
+#include "prune/shfl_bw_search.h"
+#include "prune/taylor_importance.h"
+
+namespace shflbw {
+namespace {
+
+void Run() {
+  bench::Title(
+      "Ablation — importance criterion for the Shfl-BW search (§5 is "
+      "score-agnostic)");
+
+  nn::DatasetOptions dopt;
+  dopt.num_classes = 8;
+  dopt.dim = 32;
+  dopt.train_per_class = 120;
+  dopt.test_per_class = 40;
+  const nn::Dataset data = nn::MakeClusterDataset(dopt);
+
+  nn::TrainOptions topt;
+  topt.epochs = 25;
+  topt.batch_size = 48;
+
+  std::printf("%-22s %10s %10s\n", "criterion", "75% spar.", "85% spar.");
+  for (int criterion = 0; criterion < 3; ++criterion) {
+    const char* name = criterion == 0   ? "magnitude |w|"
+                       : criterion == 1 ? "taylor |w*g|"
+                                        : "blend 50/50";
+    std::printf("%-22s", name);
+    for (double sparsity : {0.75, 0.85}) {
+      nn::Mlp model({32, 96, 96, 8}, /*seed=*/123);
+      nn::Trainer trainer(model, data);
+      trainer.Train(topt);
+
+      // One scoring backward pass over the full training set.
+      const nn::LossResult lr = nn::SoftmaxCrossEntropy(
+          model.Forward(data.train_x), data.train_y);
+      model.Backward(lr.grad_logits);
+
+      for (nn::Linear* layer : model.PrunableLayers()) {
+        Matrix<float> scores;
+        switch (criterion) {
+          case 0: scores = MagnitudeScores(layer->weights()); break;
+          case 1:
+            scores = TaylorScores(layer->weights(), layer->grad_weights());
+            break;
+          default:
+            scores = BlendedScores(layer->weights(),
+                                   layer->grad_weights(), 0.5);
+        }
+        layer->SetMask(ShflBwSearch(scores, 1.0 - sparsity, 16).mask);
+        layer->grad_weights() = Matrix<float>(layer->weights().rows(),
+                                              layer->weights().cols());
+      }
+      std::printf(" %9.1f%%", trainer.TestAccuracy() * 100);
+    }
+    std::printf("\n");
+  }
+
+  bench::Section("Reading");
+  std::printf(
+      "* The search composes with any importance signal unchanged — the "
+      "point of §5\n  taking 'the importance scores of all weights' as "
+      "input.\n"
+      "* At a converged model, gradients are small and noisy, so plain "
+      "magnitude\n  (the paper's choice) remains the strongest one-shot "
+      "criterion here;\n  gradient-aware scores matter more when pruning "
+      "mid-training.\n");
+}
+
+}  // namespace
+}  // namespace shflbw
+
+int main() {
+  shflbw::Run();
+  return 0;
+}

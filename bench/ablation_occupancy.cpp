@@ -1,0 +1,68 @@
+// Ablation: occupancy / wave quantization. The base model assumes full
+// SM utilization; this bench shows the launch-shape tail effects the
+// refinement captures — notably why the Fig. 1 shape (M/N = 2048/128,
+// only 16 dense threadblocks on an 80-SM V100) flatters sparse kernels,
+// whose V-tall tiles launch more blocks.
+#include <cstdio>
+
+#include "arch/occupancy.h"
+#include "bench_util.h"
+#include "kernels/gemm_dense.h"
+#include "kernels/spmm_shfl_bw.h"
+
+namespace shflbw {
+namespace {
+
+void Run() {
+  bench::Title("Ablation — occupancy & wave quantization");
+  const GpuSpec& spec = GetGpuSpec(GpuArch::kV100);
+  const CostModel model(spec);
+
+  bench::Section("Dense GEMM launch shapes on V100 (80 SMs)");
+  std::printf("%-22s %8s %7s %12s %14s %14s\n", "M/N/K", "blocks", "waves",
+              "utilization", "base (us)", "occupancy (us)");
+  struct Shape {
+    int m, n, k;
+  };
+  for (const Shape& s :
+       {Shape{2048, 128, 2048}, Shape{2048, 512, 2048},
+        Shape{4096, 4096, 1024}, Shape{512, 512, 512}}) {
+    const KernelStats stats = GemmTensorCoreStats(s.m, s.n, s.k, spec);
+    const OccupancyReport occ = AnalyzeOccupancy(stats, spec);
+    std::printf("%6d/%-5d/%-8d %8d %7d %11.0f%% %14.2f %14.2f\n", s.m, s.n,
+                s.k, stats.threadblocks, occ.waves, occ.utilization * 100,
+                model.Seconds(stats) * 1e6,
+                EstimateWithOccupancy(model, stats).total_s * 1e6);
+  }
+
+  bench::Section(
+      "Shfl-BW vs dense with occupancy correction (Fig. 1 shape, 75%)");
+  const KernelStats dense = GemmTensorCoreStats(2048, 128, 2048, spec);
+  const KernelStats sparse =
+      SpmmShflBwStats(2048, 128, 2048, 0.25, 64, spec);
+  const double base_speedup =
+      model.Seconds(dense) / model.Seconds(sparse);
+  const double occ_speedup = EstimateWithOccupancy(model, dense).total_s /
+                             EstimateWithOccupancy(model, sparse).total_s;
+  std::printf("dense blocks %d, sparse blocks %d\n", dense.threadblocks,
+              sparse.threadblocks);
+  std::printf("speedup: base model %.2fx, occupancy-adjusted %.2fx\n",
+              base_speedup, occ_speedup);
+
+  bench::Section("Reading");
+  std::printf(
+      "* Small-N dense launches leave most of the machine idle; the\n"
+      "  V=64 sparse kernel launches %dx more blocks at the same shape.\n"
+      "* Occupancy-adjusting widens the sparse advantage at small N —\n"
+      "  consistent with the paper reporting its best kernel wins on\n"
+      "  exactly such shapes.\n",
+      sparse.threadblocks / std::max(1, dense.threadblocks));
+}
+
+}  // namespace
+}  // namespace shflbw
+
+int main() {
+  shflbw::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: tile-size / V sweep — how the block size trades modelled
+// performance (data reuse, §3.2.2) against pruning quality (flexibility,
+// §3.2.1). This is the design-space view behind the paper's V=32/64
+// choices.
+#include <cstdio>
+
+#include "arch/cost_model.h"
+#include "bench_util.h"
+#include "core/evaluator.h"
+#include "kernels/gemm_dense.h"
+#include "kernels/spmm_shfl_bw.h"
+#include "model/weight_synth.h"
+#include "prune/importance.h"
+#include "prune/shfl_bw_search.h"
+
+namespace shflbw {
+namespace {
+
+void Run() {
+  bench::Title("Ablation — vector size V: speed vs quality");
+
+  bench::Section(
+      "Modelled Shfl-BW speedup over dense (4096x1024 @75%, N=128)");
+  std::printf("%-8s %10s %10s %10s\n", "V", "V100", "T4", "A100");
+  for (int v : {8, 16, 32, 64, 128, 256}) {
+    std::printf("%-8d", v);
+    for (const GpuSpec& spec : AllGpus()) {
+      const CostModel model(spec);
+      const double dense =
+          model.Seconds(GemmTensorCoreStats(4096, 128, 1024, spec));
+      const double sparse =
+          model.Seconds(SpmmShflBwStats(4096, 128, 1024, 0.25, v, spec));
+      std::printf(" %9.2fx", dense / sparse);
+    }
+    std::printf("\n");
+  }
+
+  bench::Section("Retained importance after Shfl-BW search @75% sparsity");
+  SynthWeightOptions opt;
+  opt.seed = 443;
+  const Matrix<float> w = SynthesizeWeights(256, 256, opt);
+  const Matrix<float> scores = MagnitudeScores(w);
+  std::printf("%-8s %20s\n", "V", "retained ratio");
+  for (int v : {8, 16, 32, 64, 128}) {
+    const double r =
+        RetainedScoreRatio(scores, ShflBwSearch(scores, 0.25, v).mask);
+    std::printf("%-8d %19.1f%%\n", v, r * 100);
+  }
+
+  bench::Section("TN (output tile width) sweep, modelled (V=64, V100)");
+  const GpuSpec& v100 = GetGpuSpec(GpuArch::kV100);
+  const CostModel model(v100);
+  std::printf("%-8s %14s\n", "TN", "time (us)");
+  for (int tn : {16, 32, 64, 128, 256}) {
+    TileConfig cfg;
+    cfg.tn = tn;
+    const KernelStats s =
+        SpmmShflBwStats(4096, 256, 1024, 0.25, 64, v100, cfg);
+    std::printf("%-8d %14.2f\n", tn, model.Seconds(s) * 1e6);
+  }
+
+  bench::Section("Reading");
+  std::printf(
+      "* Speed rises with V (reuse) but saturates near T_opt; quality "
+      "falls with V.\n"
+      "* V=32/64 sit at the knee on both axes — the paper's choice.\n");
+}
+
+}  // namespace
+}  // namespace shflbw
+
+int main() {
+  shflbw::Run();
+  return 0;
+}

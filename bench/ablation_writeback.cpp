@@ -1,0 +1,89 @@
+// Ablation: cost of the reordered write-back (§4.2 / §6.2).
+//
+// The paper reports Shfl-BW at 0.97-1.02x of the identical vector-wise
+// kernel — i.e. the row shuffle is free. Two measurements:
+//  (1) modelled GPU time ratio across shapes and sparsities;
+//  (2) actual CPU wall time of the functional kernels (google-benchmark),
+//      which share every code path except the row_map indirection.
+#include <cstdio>
+#include <numeric>
+
+#include <benchmark/benchmark.h>
+
+#include "arch/cost_model.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "kernels/spmm_shfl_bw.h"
+#include "kernels/spmm_vector_wise.h"
+#include "prune/shfl_bw_search.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+void ModeledTable() {
+  bench::Title(
+      "Ablation — reordered write-back overhead\n"
+      "(paper: Shfl-BW = 0.97-1.02x of vector-wise)");
+  bench::Section("Modelled time ratio VW/Shfl-BW (V100)");
+  const GpuSpec& spec = GetGpuSpec(GpuArch::kV100);
+  const CostModel model(spec);
+  std::printf("%-24s %8s %8s %8s\n", "shape (MxK, N=128)", "50%", "75%",
+              "90%");
+  struct Shape {
+    int m, k;
+  };
+  for (const Shape& s : {Shape{1024, 1024}, Shape{4096, 1024},
+                         Shape{2048, 2048}, Shape{4096, 4096}}) {
+    std::printf("%6dx%-6d V=64      ", s.m, s.k);
+    for (double sparsity : {0.5, 0.75, 0.9}) {
+      const double vw = model.Seconds(
+          SpmmVectorWiseStats(s.m, 128, s.k, 1 - sparsity, 64, spec));
+      const double sb = model.Seconds(
+          SpmmShflBwStats(s.m, 128, s.k, 1 - sparsity, 64, spec));
+      std::printf(" %7.3fx", vw / sb);
+    }
+    std::printf("\n");
+  }
+}
+
+// Functional-kernel wall time: identical engine, row_map identity vs
+// shuffled. Any systematic gap would indicate the write-back costs.
+void BM_VectorWiseKernel(benchmark::State& state) {
+  Rng rng(431);
+  const Matrix<float> w = rng.NormalMatrix(128, 256);
+  const Matrix<float> pruned = PruneVectorWise(w, 0.25, 32);
+  const VectorWiseMatrix vw = VectorWiseMatrix::FromDense(pruned, 32);
+  const Matrix<float> b = rng.NormalMatrix(256, 64);
+  std::vector<int> identity(128);
+  std::iota(identity.begin(), identity.end(), 0);
+  TileConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunVwFamilyKernel(vw, identity, b, cfg, nullptr));
+  }
+}
+BENCHMARK(BM_VectorWiseKernel);
+
+void BM_ShflBwKernel(benchmark::State& state) {
+  Rng rng(431);
+  const Matrix<float> w = rng.NormalMatrix(128, 256);
+  const ShflBwMatrix m = PruneToShflBw(w, 0.25, 32);
+  const Matrix<float> b = rng.NormalMatrix(256, 64);
+  TileConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunVwFamilyKernel(m.vw, m.storage_to_original, b, cfg, nullptr));
+  }
+}
+BENCHMARK(BM_ShflBwKernel);
+
+}  // namespace
+}  // namespace shflbw
+
+int main(int argc, char** argv) {
+  shflbw::ModeledTable();
+  shflbw::bench::Section("Functional-kernel wall time (CPU simulator)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// §3.2.2 / §2.1 analysis: operation intensity (data reuse) of each
+// sparse pattern, and the tensor-core MACs-per-loaded-value requirement
+// (the paper's "63 MACs" figure for A100).
+#include <cmath>
+#include <cstdio>
+
+#include "arch/intensity.h"
+#include "bench_util.h"
+
+namespace shflbw {
+namespace {
+
+void Run() {
+  bench::Title("§3.2.2 — operation-intensity analysis");
+
+  bench::Section("MACs per LLC-loaded value to reach peak tensor-core");
+  for (const GpuSpec& spec : AllGpus()) {
+    std::printf("%-6s %.0f MACs/value %s\n", spec.name.c_str(),
+                spec.MacsPerLlcValue(),
+                spec.arch == GpuArch::kA100 ? "(paper: 63)" : "");
+  }
+
+  for (const GpuSpec& spec : AllGpus()) {
+    const double budget = RegfileAccumulators(spec);
+    const double dense = DenseMaxReuse(budget).flop_per_byte;
+    bench::Section(spec.name + " — max reuse (flop/byte), regfile budget " +
+                   std::to_string(static_cast<int>(budget)));
+    std::printf("T_opt (dense tile edge) = %.0f\n",
+                OptimalDenseTileEdge(budget));
+    std::printf("dense GEMM:              %8.1f\n", dense);
+    std::printf("%-10s %14s %24s\n", "alpha", "unstructured",
+                "sqrt(a)*dense (theory)");
+    for (double alpha : {0.5, 0.25, 0.15, 0.05, 0.02}) {
+      const ReuseAnalysis u = UnstructuredMaxReuse(budget, alpha);
+      std::printf("%-10.2f %14.1f %24.1f\n", alpha, u.flop_per_byte,
+                  std::sqrt(alpha) * dense);
+    }
+    std::printf("%-10s %14s\n", "V", "BW/VW/Shfl-BW");
+    for (int v : {8, 16, 32, 64, 128, 256}) {
+      std::printf("%-10d %14.1f\n", v,
+                  BlockWiseReuse(budget, v).flop_per_byte);
+    }
+  }
+
+  bench::Section("Reading");
+  std::printf(
+      "* Unstructured reuse collapses as sqrt(alpha): at 95%% sparsity it "
+      "is ~4.5x below dense.\n"
+      "* Block-wise/vector-wise/Shfl-BW reach full dense reuse once V >= "
+      "T_opt; V=64 is within ~2x.\n"
+      "* This is why tensor-core SpMM needs a dense-tileable pattern "
+      "(the paper's core claim).\n");
+}
+
+}  // namespace
+}  // namespace shflbw
+
+int main() {
+  shflbw::Run();
+  return 0;
+}

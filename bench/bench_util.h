@@ -1,0 +1,28 @@
+// Shared formatting helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace shflbw::bench {
+
+inline void Title(const std::string& t) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", t.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Section(const std::string& t) {
+  std::printf("\n--- %s ---\n", t.c_str());
+}
+
+/// Prints "  n/a" or a fixed-width speedup like " 2.31x".
+inline std::string Cell(const std::optional<double>& v) {
+  char buf[32];
+  if (!v) return "   n/a";
+  std::snprintf(buf, sizeof(buf), "%5.2fx", *v);
+  return buf;
+}
+
+}  // namespace shflbw::bench

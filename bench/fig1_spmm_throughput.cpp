@@ -1,0 +1,99 @@
+// Figure 1: SpMM throughput vs density, normalized to the CUDA-core
+// dense GEMM, on GEMM shape M/N/K = 2048/128/2048 (V100).
+//
+// Reproduces the four curves and the three regions the paper marks:
+//  A: CUDA-core sparse (Sputnik) passes CUDA-core dense near 65% sparsity
+//  B: CUDA-core sparse passes tensor-core dense only near 95%
+//  C: tensor-core sparse (Shfl-BW, ours) passes tensor-core dense around
+//     50-60% sparsity — "reduces the threshold where sparsity starts to
+//     show benefit".
+#include <cstdio>
+#include <vector>
+
+#include "arch/cost_model.h"
+#include "bench_util.h"
+#include "kernels/gemm_dense.h"
+#include "kernels/spmm_shfl_bw.h"
+#include "kernels/spmm_sputnik.h"
+
+namespace shflbw {
+namespace {
+
+constexpr int kM = 2048, kN = 128, kK = 2048;
+
+double Throughput(double useful_flops, double seconds) {
+  return useful_flops / seconds;
+}
+
+void Run() {
+  const GpuSpec& spec = GetGpuSpec(GpuArch::kV100);
+  const CostModel model(spec);
+
+  const KernelStats dense_cc = GemmCudaCoreStats(kM, kN, kK, spec);
+  const KernelStats dense_tc = GemmTensorCoreStats(kM, kN, kK, spec);
+  // Normalization: dense throughput uses the DENSE flop count.
+  const double cc_dense_tput =
+      Throughput(dense_cc.useful_flops, model.Seconds(dense_cc));
+  const double tc_dense_tput =
+      Throughput(dense_tc.useful_flops, model.Seconds(dense_tc));
+
+  bench::Title(
+      "Figure 1 — SpMM throughput vs density (M/N/K=2048/128/2048, V100)\n"
+      "All numbers normalized to CUDA-core dense GEMM throughput.\n"
+      "Sparse curves use EFFECTIVE throughput: dense-equivalent flops / "
+      "time");
+  std::printf("%8s %14s %14s %14s %14s\n", "density", "cuda-dense",
+              "tensor-dense", "cuda-sparse", "tc-sparse(ours)");
+
+  double cross_a = -1, cross_b = -1, cross_c = -1;
+  double prev_sputnik = 0, prev_shflbw = 0;
+  const std::vector<double> densities{0.02, 0.03, 0.05, 0.08, 0.10, 0.15,
+                                      0.20, 0.25, 0.30, 0.35, 0.40, 0.50,
+                                      0.60, 0.70, 0.80, 0.90, 1.00};
+  // Effective speedup = dense flops / sparse time: "how much faster is
+  // the layer", the quantity Fig. 1 plots.
+  const double dense_flops = 2.0 * kM * kN * kK;
+  for (auto it = densities.rbegin(); it != densities.rend(); ++it) {
+    const double d = *it;
+    const KernelStats sputnik =
+        SpmmSputnikStats(kM, kN, kK, d * kM * kK, spec);
+    const KernelStats shflbw = SpmmShflBwStats(kM, kN, kK, d, 64, spec);
+    const double sputnik_tput =
+        Throughput(dense_flops, model.Seconds(sputnik));
+    const double shflbw_tput = Throughput(dense_flops, model.Seconds(shflbw));
+    std::printf("%7.0f%% %13.2fx %13.2fx %13.2fx %13.2fx\n", d * 100,
+                1.0, tc_dense_tput / cc_dense_tput,
+                sputnik_tput / cc_dense_tput, shflbw_tput / cc_dense_tput);
+    // Crossings, scanning density downward (sparsity upward).
+    if (cross_a < 0 && sputnik_tput > cc_dense_tput &&
+        prev_sputnik <= cc_dense_tput && prev_sputnik > 0) {
+      cross_a = d;
+    }
+    if (cross_b < 0 && sputnik_tput > tc_dense_tput &&
+        prev_sputnik <= tc_dense_tput && prev_sputnik > 0) {
+      cross_b = d;
+    }
+    if (cross_c < 0 && shflbw_tput > tc_dense_tput &&
+        prev_shflbw <= tc_dense_tput && prev_shflbw > 0) {
+      cross_c = d;
+    }
+    prev_sputnik = sputnik_tput;
+    prev_shflbw = shflbw_tput;
+  }
+
+  bench::Section("Crossover sparsities (paper: A ~65%, B ~95%, C ~50-60%)");
+  std::printf("A: cuda-sparse beats cuda-dense at sparsity > %.0f%%\n",
+              cross_a > 0 ? (1 - cross_a) * 100 : -1.0);
+  std::printf("B: cuda-sparse beats tensor-dense at sparsity > %.0f%%\n",
+              cross_b > 0 ? (1 - cross_b) * 100 : -1.0);
+  std::printf("C: tc-sparse (ours) beats tensor-dense at sparsity > %.0f%%\n",
+              cross_c > 0 ? (1 - cross_c) * 100 : -1.0);
+}
+
+}  // namespace
+}  // namespace shflbw
+
+int main() {
+  shflbw::Run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 6: speedup over the dense baseline on three GPUs (V100, T4,
+// A100) x three models (Transformer, GNMT, ResNet50) x sparsity levels
+// {50, 75, 85, 95}% for every kernel in the paper's comparison.
+//
+// Notes mirrored from §6.2:
+//  * baselines lack convolution, so the ResNet50 column only has the
+//    dense baseline and our VW / Shfl-BW kernels;
+//  * Tilewise and VectorSparse were compiled on V100 only;
+//  * balanced 2:4 exists only on A100 at 50%.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/evaluator.h"
+#include "model/gnmt.h"
+#include "model/resnet50.h"
+#include "model/transformer.h"
+
+namespace shflbw {
+namespace {
+
+struct Row {
+  const char* name;
+  KernelClass klass;
+  int v;
+  bool v100_only;  // Tilewise / VectorSparse baselines
+};
+
+const std::vector<Row> kRows{
+    {"cuSPARSE (unstr.)", KernelClass::kCsrScalar, 32, false},
+    {"Sputnik (unstr.)", KernelClass::kSputnik, 32, false},
+    {"VectorSparse VW,V=8", KernelClass::kVectorSparse, 8, true},
+    {"Tilewise VW,V=128", KernelClass::kTilewise, 128, true},
+    {"cuSPARSE BW,V=32", KernelClass::kBsrTensorCore, 32, false},
+    {"cuSPARSE BW,V=64", KernelClass::kBsrTensorCore, 64, false},
+    {"Ours VW,V=32", KernelClass::kVectorWiseTensorCore, 32, false},
+    {"Ours VW,V=64", KernelClass::kVectorWiseTensorCore, 64, false},
+    {"Shfl-BW,V=32", KernelClass::kShflBwTensorCore, 32, false},
+    {"Shfl-BW,V=64", KernelClass::kShflBwTensorCore, 64, false},
+    {"Balanced 2:4", KernelClass::kBalanced24, 4, false},
+};
+
+const std::vector<double> kSparsities{0.50, 0.75, 0.85, 0.95};
+
+void PrintGemmPanel(const char* model_name,
+                    const std::vector<GemmLayerSpec>& layers,
+                    const std::vector<int>& counts, const GpuSpec& spec) {
+  bench::Section(std::string(spec.name) + " / " + model_name);
+  std::printf("%-22s", "kernel \\ sparsity");
+  for (double s : kSparsities) std::printf(" %7.0f%%", s * 100);
+  std::printf("\n");
+  for (const Row& row : kRows) {
+    if (row.v100_only && spec.arch != GpuArch::kV100) continue;
+    std::printf("%-22s", row.name);
+    for (double s : kSparsities) {
+      const auto r = EvaluateGemmModel(layers, counts, row.klass, 1.0 - s,
+                                       row.v, spec);
+      std::printf(" %8s",
+                  bench::Cell(r ? std::optional<double>(r->speedup)
+                                : std::nullopt)
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintConvPanel(const GpuSpec& spec) {
+  bench::Section(std::string(spec.name) +
+                 " / ResNet50 (conv — baselines lack conv kernels)");
+  std::printf("%-22s", "kernel \\ sparsity");
+  for (double s : kSparsities) std::printf(" %7.0f%%", s * 100);
+  std::printf("\n");
+  const auto layers = ResNet50Layers();
+  for (const Row& row : kRows) {
+    if (row.v100_only && spec.arch != GpuArch::kV100) continue;
+    std::printf("%-22s", row.name);
+    for (double s : kSparsities) {
+      const auto r =
+          EvaluateConvModel(layers, row.klass, 1.0 - s, row.v, spec);
+      std::printf(" %8s",
+                  bench::Cell(r ? std::optional<double>(r->speedup)
+                                : std::nullopt)
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void Run() {
+  bench::Title(
+      "Figure 6 — speedup over dense baseline, 3 GPUs x 3 models\n"
+      "(paper headline: Shfl-BW V=64 @75% on Transformer = 1.81x V100, "
+      "4.18x T4, 1.90x A100)");
+  for (const GpuSpec& spec : AllGpus()) {
+    PrintGemmPanel("Transformer", TransformerLayers(),
+                   TransformerLayerCounts(), spec);
+    PrintGemmPanel("GNMT", GnmtLayers(), GnmtLayerCounts(), spec);
+    PrintConvPanel(spec);
+  }
+
+  bench::Section("Headline check (Shfl-BW V=64, 75% sparsity, Transformer)");
+  for (const GpuSpec& spec : AllGpus()) {
+    const auto r =
+        EvaluateGemmModel(TransformerLayers(), TransformerLayerCounts(),
+                          KernelClass::kShflBwTensorCore, 0.25, 64, spec);
+    std::printf("%-6s modelled %5.2fx (paper: %s)\n", spec.name.c_str(),
+                r->speedup,
+                spec.arch == GpuArch::kV100   ? "1.81x"
+                : spec.arch == GpuArch::kT4 ? "4.18x"
+                                              : "1.90x");
+  }
+}
+
+}  // namespace
+}  // namespace shflbw
+
+int main() {
+  shflbw::Run();
+  return 0;
+}

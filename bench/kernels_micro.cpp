@@ -1,0 +1,127 @@
+// Google-benchmark microbenchmarks of the functional kernel simulators.
+// These time the CPU implementations (useful for regression-testing the
+// simulator itself); the GPU performance numbers come from the cost
+// model in the table benches.
+#include <numeric>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "format/convert.h"
+#include "kernels/conv2d.h"
+#include "kernels/gemm_dense.h"
+#include "kernels/spmm_bsr.h"
+#include "kernels/spmm_csr.h"
+#include "kernels/spmm_shfl_bw.h"
+#include "kernels/spmm_sputnik.h"
+#include "kernels/spmm_vector_wise.h"
+#include "prune/block_wise.h"
+#include "prune/shfl_bw_search.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+constexpr int kM = 128, kN = 32, kK = 128;
+constexpr double kDensity = 0.25;
+
+const GpuSpec& Spec() { return GetGpuSpec(GpuArch::kV100); }
+
+Matrix<float> Weights() {
+  Rng rng(509);
+  return rng.NormalMatrix(kM, kK);
+}
+
+Matrix<float> Activations() {
+  Rng rng(521);
+  return rng.NormalMatrix(kK, kN);
+}
+
+void BM_GemmReference(benchmark::State& state) {
+  const Matrix<float> w = Weights();
+  const Matrix<float> b = Activations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GemmReference(w, b));
+  }
+}
+BENCHMARK(BM_GemmReference);
+
+void BM_SpmmCsrScalar(benchmark::State& state) {
+  const CsrMatrix csr =
+      CsrMatrix::FromDense(PruneUnstructured(Weights(), kDensity));
+  const Matrix<float> b = Activations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpmmCsrScalar(csr, b, Spec()));
+  }
+}
+BENCHMARK(BM_SpmmCsrScalar);
+
+void BM_SpmmSputnik(benchmark::State& state) {
+  const CsrMatrix csr =
+      CsrMatrix::FromDense(PruneUnstructured(Weights(), kDensity));
+  const Matrix<float> b = Activations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpmmSputnik(csr, b, Spec()));
+  }
+}
+BENCHMARK(BM_SpmmSputnik);
+
+void BM_SpmmBsr(benchmark::State& state) {
+  const BsrMatrix bsr =
+      BsrMatrix::FromDense(PruneBlockWise(Weights(), kDensity, 16), 16);
+  const Matrix<float> b = Activations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpmmBsr(bsr, b, Spec()));
+  }
+}
+BENCHMARK(BM_SpmmBsr);
+
+void BM_SpmmVectorWise(benchmark::State& state) {
+  const VectorWiseMatrix vw = VectorWiseMatrix::FromDense(
+      PruneVectorWise(Weights(), kDensity, 16), 16);
+  const Matrix<float> b = Activations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpmmVectorWise(vw, b, Spec()));
+  }
+}
+BENCHMARK(BM_SpmmVectorWise);
+
+void BM_SpmmShflBw(benchmark::State& state) {
+  const ShflBwMatrix m = PruneToShflBw(Weights(), kDensity, 16);
+  const Matrix<float> b = Activations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpmmShflBw(m, b, Spec()));
+  }
+}
+BENCHMARK(BM_SpmmShflBw);
+
+void BM_ShflBwSearch(benchmark::State& state) {
+  const Matrix<float> w = Weights();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PruneToShflBw(w, kDensity, 16));
+  }
+}
+BENCHMARK(BM_ShflBwSearch);
+
+void BM_Im2Col(benchmark::State& state) {
+  ConvShape s;
+  s.batch = 2;
+  s.in_c = 16;
+  s.in_h = s.in_w = 14;
+  s.out_c = 32;
+  s.kh = s.kw = 3;
+  s.pad = 1;
+  Tensor4 input(s.batch, s.in_c, s.in_h, s.in_w);
+  Rng rng(523);
+  for (auto& v : input.data) v = static_cast<float>(rng.Normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Im2Col(input, s));
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+}  // namespace
+}  // namespace shflbw
+
+BENCHMARK_MAIN();

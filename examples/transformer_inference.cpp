@@ -1,0 +1,46 @@
+// Transformer scenario: prune every compute-intensive GEMM layer of a
+// Transformer stack to Shfl-BW and estimate the end-to-end speedup of
+// the linear layers on each GPU — the paper's headline experiment
+// (Fig. 6, Transformer column).
+#include <cstdio>
+
+#include "core/evaluator.h"
+#include "model/transformer.h"
+
+using namespace shflbw;
+
+int main() {
+  const TransformerConfig cfg;  // base: d_model=512, d_ff=2048, N=128
+  const auto layers = TransformerLayers(cfg);
+  const auto counts = TransformerLayerCounts(cfg);
+
+  std::printf("Transformer base, %d enc + %d dec layers, batch tokens %d\n",
+              cfg.encoder_layers, cfg.decoder_layers, cfg.batch_tokens);
+  std::printf("%-16s %10s %10s %10s\n", "", "V100", "T4", "A100");
+
+  for (double sparsity : {0.50, 0.75, 0.85, 0.95}) {
+    std::printf("sparsity %3.0f%%   ", sparsity * 100);
+    for (const GpuSpec& spec : AllGpus()) {
+      const auto r =
+          EvaluateGemmModel(layers, counts, KernelClass::kShflBwTensorCore,
+                            1.0 - sparsity, 64, spec);
+      std::printf(" %9.2fx", r->speedup);
+    }
+    std::printf("\n");
+  }
+
+  // Per-layer breakdown at the headline point (75%, V=64, V100).
+  const auto r =
+      EvaluateGemmModel(layers, counts, KernelClass::kShflBwTensorCore, 0.25,
+                        64, GetGpuSpec(GpuArch::kV100));
+  std::printf("\nPer-layer breakdown @75%% on V100 (Shfl-BW V=64):\n");
+  std::printf("%-16s %12s %12s %9s\n", "layer", "dense (us)", "sparse (us)",
+              "speedup");
+  for (const LayerTiming& t : r->layers) {
+    std::printf("%-16s %12.2f %12.2f %8.2fx\n", t.name.c_str(),
+                t.dense_s * 1e6, t.sparse_s * 1e6, t.speedup);
+  }
+  std::printf("%-16s %12.2f %12.2f %8.2fx\n", "TOTAL", r->dense_s * 1e6,
+              r->sparse_s * 1e6, r->speedup);
+  return 0;
+}

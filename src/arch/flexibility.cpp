@@ -1,0 +1,63 @@
+#include "arch/flexibility.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace shflbw {
+
+double LogFactorial(int n) {
+  SHFLBW_CHECK(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int n, int r) {
+  SHFLBW_CHECK_MSG(r >= 0 && r <= n, "C(" << n << "," << r << ")");
+  return LogFactorial(n) - LogFactorial(r) - LogFactorial(n - r);
+}
+
+double LogRowGroupingCount(int m, int v, bool ordered_groups) {
+  SHFLBW_CHECK_MSG(v > 0 && m % v == 0, "V=" << v << " must divide M=" << m);
+  const int groups = m / v;
+  // M! ways to order all rows; within each group of V the order is
+  // irrelevant (divide by V! per group); if group identity is also
+  // irrelevant divide by (M/V)!.
+  double log_count = LogFactorial(m) - groups * LogFactorial(v);
+  if (!ordered_groups) log_count -= LogFactorial(groups);
+  return log_count;
+}
+
+FlexibilityReport AnalyzeFlexibility(int m, int k, double alpha, int v) {
+  SHFLBW_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha=" << alpha);
+  SHFLBW_CHECK_MSG(v > 0 && m % v == 0 && k % v == 0,
+                   "V=" << v << " must divide M=" << m << " and K=" << k);
+  FlexibilityReport rep{};
+
+  const long long total = static_cast<long long>(m) * k;
+  const int nnz_total = static_cast<int>(std::llround(alpha * total));
+
+  // Unstructured: any subset of positions.
+  rep.log_unstructured =
+      LogBinomial(static_cast<int>(total), nnz_total);
+
+  // Vector-wise with fixed contiguous row groups of V: each of the M/V
+  // groups independently chooses which columns to keep.
+  const int groups = m / v;
+  const int cols_kept = static_cast<int>(std::llround(alpha * k));
+  rep.log_vector_wise = groups * LogBinomial(k, cols_kept);
+
+  // Shfl-BW: vector-wise choices multiplied by the row-grouping count
+  // (the paper's M!/(V!)^(M/V) factor).
+  rep.log_shfl_bw =
+      rep.log_vector_wise + LogRowGroupingCount(m, v, /*ordered_groups=*/true);
+
+  // Block-wise: choose which VxV blocks survive.
+  const int blocks_total = (m / v) * (k / v);
+  const int blocks_kept =
+      static_cast<int>(std::llround(alpha * blocks_total));
+  rep.log_block_wise = LogBinomial(blocks_total, blocks_kept);
+
+  return rep;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,34 @@
+// Flexibility analysis from §3.2.1: the number of candidate weight
+// structures a sparsity pattern admits, computed in log-space (the counts
+// overflow any integer type — the paper's own example exceeds e^700).
+#pragma once
+
+namespace shflbw {
+
+/// ln(n!) via lgamma.
+double LogFactorial(int n);
+
+/// ln of the number of ways to partition M rows into unordered groups of
+/// size V: M! / (V!)^(M/V) / (M/V)!  — the paper quotes the ordered-group
+/// variant M!/(V!)^(M/V); both are provided.
+/// Requires V to divide M.
+double LogRowGroupingCount(int m, int v, bool ordered_groups = true);
+
+/// ln of the number of candidate structures of each pattern at a given
+/// shape and non-zero count, used to reproduce the paper's flexibility
+/// ordering (unstructured > Shfl-BW > vector-wise > block-wise).
+struct FlexibilityReport {
+  double log_unstructured;  // ln C(M*K, nnz)
+  double log_shfl_bw;       // ln [rowgroups * C(K, cols_kept)^(M/V)]
+  double log_vector_wise;   // ln C(K, cols_kept)^(M/V)
+  double log_block_wise;    // ln C((M/V)*(K/V), blocks_kept)
+};
+
+/// Computes the report for an MxK matrix at non-zero ratio alpha and
+/// block/vector size V (V must divide M and K).
+FlexibilityReport AnalyzeFlexibility(int m, int k, double alpha, int v);
+
+/// ln C(n, r).
+double LogBinomial(int n, int r);
+
+}  // namespace shflbw

@@ -1,0 +1,124 @@
+#include "arch/gpu_spec.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+// Sources: NVIDIA V100 (SXM2) / T4 / A100 (SXM4 40GB) data sheets and
+// architecture whitepapers. L2 bandwidths are the commonly measured
+// figures (Jia et al. dissecting-series microbenchmarks); the A100 value
+// reproduces the paper's "63 MACs per loaded value" observation.
+const GpuSpec kV100{
+    .arch = GpuArch::kV100,
+    .name = "V100",
+    .tensor_core_flops = 112e12,
+    .cuda_core_flops = 28e12,   // 2x fp32 (14 TFLOPS) with half2
+    .dram_bandwidth = 900e9,
+    .l2_bandwidth = 2.2e12,
+    .l2_capacity = 6.0 * 1024 * 1024,
+    .num_sms = 80,
+    .shared_mem_per_sm = 96.0 * 1024,
+    .regfile_per_sm = 256.0 * 1024,
+    .kernel_launch_overhead = 1e-6,
+};
+
+const GpuSpec kT4{
+    .arch = GpuArch::kT4,
+    .name = "T4",
+    .tensor_core_flops = 65e12,
+    .cuda_core_flops = 16.2e12,
+    .dram_bandwidth = 320e9,
+    .l2_bandwidth = 1.3e12,
+    .l2_capacity = 4.0 * 1024 * 1024,
+    .num_sms = 40,
+    .shared_mem_per_sm = 64.0 * 1024,
+    .regfile_per_sm = 256.0 * 1024,
+    .kernel_launch_overhead = 1e-6,
+};
+
+const GpuSpec kA100{
+    .arch = GpuArch::kA100,
+    .name = "A100",
+    .tensor_core_flops = 312e12,
+    .cuda_core_flops = 78e12,
+    .dram_bandwidth = 1555e9,
+    .l2_bandwidth = 5.0e12,
+    .l2_capacity = 40.0 * 1024 * 1024,
+    .num_sms = 108,
+    .shared_mem_per_sm = 164.0 * 1024,
+    .regfile_per_sm = 256.0 * 1024,
+    .kernel_launch_overhead = 1e-6,
+};
+
+// Extension targets (§7): matrix-unit peaks and bandwidths from vendor
+// documentation; cache terms approximated at the same granularity as
+// the NVIDIA entries.
+const GpuSpec kCdna1{
+    .arch = GpuArch::kCdna1,
+    .name = "CDNA1",
+    .tensor_core_flops = 184.6e12,  // MI100 fp16 matrix-core
+    .cuda_core_flops = 46.1e12,    // fp16 vector
+    .dram_bandwidth = 1228e9,
+    .l2_bandwidth = 3.0e12,
+    .l2_capacity = 8.0 * 1024 * 1024,
+    .num_sms = 120,
+    .shared_mem_per_sm = 64.0 * 1024,
+    .regfile_per_sm = 256.0 * 1024,
+    .kernel_launch_overhead = 1e-6,
+};
+
+const GpuSpec kAmx{
+    .arch = GpuArch::kAmx,
+    .name = "AMX",
+    .tensor_core_flops = 55e12,   // bf16 AMX, 56-core socket
+    .cuda_core_flops = 14e12,     // AVX-512 fp32-equivalent
+    .dram_bandwidth = 307e9,      // 8-channel DDR5
+    .l2_bandwidth = 2.0e12,       // aggregate LLC
+    .l2_capacity = 105.0 * 1024 * 1024,
+    .num_sms = 56,  // cores
+    .shared_mem_per_sm = 2048.0 * 1024,  // private L2 per core
+    .regfile_per_sm = 8.0 * 1024,        // tile registers
+    .kernel_launch_overhead = 0.2e-6,    // function call, not a launch
+};
+
+}  // namespace
+
+const GpuSpec& GetGpuSpec(GpuArch arch) {
+  switch (arch) {
+    case GpuArch::kV100: return kV100;
+    case GpuArch::kT4: return kT4;
+    case GpuArch::kA100: return kA100;
+    case GpuArch::kCdna1: return kCdna1;
+    case GpuArch::kAmx: return kAmx;
+  }
+  throw Error("unknown GpuArch");
+}
+
+GpuArch ParseGpuArch(const std::string& name) {
+  std::string up = name;
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (up == "V100") return GpuArch::kV100;
+  if (up == "T4") return GpuArch::kT4;
+  if (up == "A100") return GpuArch::kA100;
+  if (up == "CDNA1" || up == "MI100") return GpuArch::kCdna1;
+  if (up == "AMX") return GpuArch::kAmx;
+  throw Error("unknown GPU name: " + name +
+              " (expected V100, T4, A100, CDNA1 or AMX)");
+}
+
+const std::vector<GpuSpec>& AllGpus() {
+  static const std::vector<GpuSpec> kAll{kV100, kT4, kA100};
+  return kAll;
+}
+
+const std::vector<GpuSpec>& ExtensionAccelerators() {
+  static const std::vector<GpuSpec> kExt{kCdna1, kAmx};
+  return kExt;
+}
+
+}  // namespace shflbw

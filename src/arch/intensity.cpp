@@ -1,0 +1,64 @@
+#include "arch/intensity.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace shflbw {
+
+double RegfileAccumulators(const GpuSpec& spec) {
+  // fp32 accumulators; leave half the register file for operands,
+  // addresses and pipeline buffers, as real TC kernels do.
+  return spec.regfile_per_sm / 4.0 / 2.0;
+}
+
+double OptimalDenseTileEdge(double regfile_accumulators) {
+  SHFLBW_CHECK(regfile_accumulators > 0);
+  return std::sqrt(regfile_accumulators);
+}
+
+ReuseAnalysis DenseMaxReuse(double regfile_accumulators, int bytes_per_value) {
+  // 2*TM*TN*TK flop over (TM + TN)*TK*bytes — TK cancels; symmetric
+  // optimum at TM = TN = sqrt(budget).
+  ReuseAnalysis r;
+  r.best_tm = r.best_tn = OptimalDenseTileEdge(regfile_accumulators);
+  r.flop_per_byte =
+      2.0 * r.best_tm * r.best_tn / ((r.best_tm + r.best_tn) * bytes_per_value);
+  return r;
+}
+
+ReuseAnalysis UnstructuredMaxReuse(double regfile_accumulators, double alpha,
+                                   int bytes_per_value) {
+  SHFLBW_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha=" << alpha);
+  // Useful flop: 2*alpha*TM*TN*TK. Bytes: alpha*TM*TK (sparse operand,
+  // compressed) + TK*TN (dense operand, loaded in full because non-zeros
+  // hit unpredictable rows). Maximize over TM*TN <= budget:
+  //   intensity = 2*alpha*TM*TN / (alpha*TM + TN)
+  // Lagrange gives alpha*TM = TN at the optimum, i.e.
+  //   TM = sqrt(budget/alpha), TN = sqrt(budget*alpha)
+  // -> intensity = sqrt(alpha) * sqrt(budget), matching the paper's
+  // Max_reuse = sqrt(alpha) * Reuse_dense.
+  ReuseAnalysis r;
+  r.best_tm = std::sqrt(regfile_accumulators / alpha);
+  r.best_tn = std::sqrt(regfile_accumulators * alpha);
+  r.flop_per_byte = 2.0 * alpha * r.best_tm * r.best_tn /
+                    ((alpha * r.best_tm + r.best_tn) * bytes_per_value);
+  return r;
+}
+
+ReuseAnalysis BlockWiseReuse(double regfile_accumulators, int block_size,
+                             int bytes_per_value) {
+  SHFLBW_CHECK_MSG(block_size > 0, "V=" << block_size);
+  // The tile is dense after (online) transformation; TM is pinned to V
+  // and TN takes the remaining register budget.
+  ReuseAnalysis r;
+  r.best_tm = block_size;
+  r.best_tn = regfile_accumulators / block_size;
+  r.flop_per_byte =
+      2.0 * r.best_tm * r.best_tn / ((r.best_tm + r.best_tn) * bytes_per_value);
+  // Reuse cannot exceed the dense optimum (TN shrinks as V grows past
+  // T_opt; the formula above already captures both sides).
+  return r;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,55 @@
+// Closed-form operation-intensity analysis from §3.2.2 of the paper.
+//
+// The paper derives the maximum achievable data reuse (FLOP per byte
+// loaded from global memory) of an SpMM threadblock tile as a function of
+// the sparsity pattern:
+//   * unstructured / balanced: the tiled sparse matrix stays sparse, and
+//     Max_reuse = sqrt(alpha) * Reuse_dense;
+//   * block-wise / vector-wise / Shfl-BW: tiles can be made dense, and
+//     reuse reaches Reuse_dense as soon as V >= T_opt_dense.
+// These functions reproduce that analysis numerically so the benches can
+// print the paper's table of intensities and the A100 "63 MACs per loaded
+// value" requirement.
+#pragma once
+
+#include "arch/gpu_spec.h"
+
+namespace shflbw {
+
+/// Result of maximizing FLOP/byte over tile shapes (TM, TN) subject to
+/// the register-file constraint TM*TN <= regfile accumulators.
+struct ReuseAnalysis {
+  double best_tm = 0;
+  double best_tn = 0;
+  double flop_per_byte = 0;
+};
+
+/// Maximum reuse of a *dense* GEMM tile: optimizing
+///   2*TM*TN*TK / ((TM*TK + TK*TN) * bytes)  s.t. TM*TN <= regfile_elems
+/// gives TM = TN = sqrt(regfile_elems) and reuse = T_opt/2 flop/byte
+/// (for 2-byte elements).
+ReuseAnalysis DenseMaxReuse(double regfile_accumulators,
+                            int bytes_per_value = 2);
+
+/// Maximum reuse of an *unstructured/balanced* sparse tile at non-zero
+/// ratio alpha: the sparse operand contributes alpha*TM*TK useful values
+/// but the dense operand must be loaded in full. Optimum is
+/// sqrt(alpha) * dense reuse (paper, §3.2.2).
+ReuseAnalysis UnstructuredMaxReuse(double regfile_accumulators, double alpha,
+                                   int bytes_per_value = 2);
+
+/// Reuse of a block-wise (or vector-wise / Shfl-BW after the online
+/// transformation) tile with block size V: the tile is dense, so reuse is
+/// the dense formula evaluated at TM = V (clamped by the register file).
+ReuseAnalysis BlockWiseReuse(double regfile_accumulators, int block_size,
+                             int bytes_per_value = 2);
+
+/// The optimal dense tile edge T_opt = sqrt(regfile accumulators); the
+/// paper's condition for full reuse is V >= T_opt.
+double OptimalDenseTileEdge(double regfile_accumulators);
+
+/// Register-file accumulators available per threadblock for a GPU
+/// (fp32 accumulators in the register file of one SM).
+double RegfileAccumulators(const GpuSpec& spec);
+
+}  // namespace shflbw

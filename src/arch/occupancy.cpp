@@ -1,0 +1,52 @@
+#include "arch/occupancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace shflbw {
+
+OccupancyReport AnalyzeOccupancy(const KernelStats& stats,
+                                 const GpuSpec& spec,
+                                 double smem_per_block_bytes) {
+  SHFLBW_CHECK_MSG(smem_per_block_bytes >= 0, "negative smem footprint");
+  if (smem_per_block_bytes == 0) {
+    smem_per_block_bytes = 64.0 * 1024;  // double-buffered TC tile set
+  }
+  OccupancyReport r;
+  r.blocks_per_sm = std::max(
+      1, static_cast<int>(spec.shared_mem_per_sm / smem_per_block_bytes));
+  r.concurrent_blocks = r.blocks_per_sm * spec.num_sms;
+  const int blocks = std::max(1, stats.threadblocks);
+  r.waves = (blocks + r.concurrent_blocks - 1) / r.concurrent_blocks;
+  const int last_wave_blocks =
+      blocks - (r.waves - 1) * r.concurrent_blocks;
+  r.last_wave_fill =
+      static_cast<double>(last_wave_blocks) / r.concurrent_blocks;
+  r.utilization = static_cast<double>(blocks) /
+                  (static_cast<double>(r.waves) * r.concurrent_blocks);
+  return r;
+}
+
+TimeBreakdown EstimateWithOccupancy(const CostModel& model,
+                                    const KernelStats& stats,
+                                    double smem_per_block_bytes) {
+  TimeBreakdown t = model.Estimate(stats);
+  const OccupancyReport occ =
+      AnalyzeOccupancy(stats, model.spec(), smem_per_block_bytes);
+  // The compute roof assumes all SMs busy; a partially-filled launch
+  // stretches compute-bound time by 1/utilization. Memory roofs are
+  // machine-wide (bandwidth is shared) and stretch only mildly — model
+  // them as unaffected, which keeps this a pure tail-effect correction.
+  const double adj_compute = t.compute_s / std::max(occ.utilization, 1e-6);
+  const double roof = std::max({adj_compute, t.dram_s, t.l2_s});
+  t.compute_s = adj_compute;
+  t.total_s = roof + t.launch_s + t.pipeline_fill_s;
+  if (roof == adj_compute) t.bound = Bound::kCompute;
+  else if (roof == t.dram_s) t.bound = Bound::kDram;
+  else t.bound = Bound::kL2;
+  return t;
+}
+
+}  // namespace shflbw

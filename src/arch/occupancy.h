@@ -1,0 +1,40 @@
+// Occupancy / wave-quantization refinement of the roofline model.
+//
+// The base CostModel assumes perfect SM utilization. Real launches run
+// threadblocks in "waves" of (SMs x blocks-per-SM); a launch whose last
+// wave is nearly empty wastes a full wave of time — the tail effect
+// that makes small-N GEMMs (like the Fig. 1 shape, 16 threadblocks on
+// 80 SMs) inefficient. This module computes the wave count, the tail
+// utilization, and an occupancy-adjusted time.
+#pragma once
+
+#include "arch/cost_model.h"
+#include "arch/gpu_spec.h"
+#include "arch/kernel_stats.h"
+
+namespace shflbw {
+
+struct OccupancyReport {
+  int blocks_per_sm = 1;      // concurrent threadblocks one SM can host
+  int concurrent_blocks = 0;  // blocks_per_sm * num_sms
+  int waves = 0;              // ceil(threadblocks / concurrent_blocks)
+  double last_wave_fill = 1;  // fraction of the last wave occupied
+  double utilization = 1;     // threadblocks / (waves * concurrent)
+};
+
+/// Occupancy of a launch: blocks-per-SM is limited by the shared-memory
+/// footprint of one threadblock (the tile buffers), which the caller
+/// supplies; 0 means "use a typical double-buffered TC-kernel footprint
+/// of 64 KiB".
+OccupancyReport AnalyzeOccupancy(const KernelStats& stats,
+                                 const GpuSpec& spec,
+                                 double smem_per_block_bytes = 0);
+
+/// Roofline time divided by the launch utilization: a kernel that fills
+/// 40% of the machine takes 1/0.4x longer than the roofline says. The
+/// fixed overheads from the base estimate carry over unchanged.
+TimeBreakdown EstimateWithOccupancy(const CostModel& model,
+                                    const KernelStats& stats,
+                                    double smem_per_block_bytes = 0);
+
+}  // namespace shflbw

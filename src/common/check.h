@@ -1,0 +1,49 @@
+// Runtime invariant checking. All public-API precondition failures throw
+// shflbw::Error so callers (tests, examples) can observe them; internal
+// invariant violations also throw, which keeps the library usable from
+// long-running benchmark harnesses without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace shflbw {
+
+/// Exception type for all library errors (bad arguments, format violations,
+/// shape mismatches).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace shflbw
+
+/// Checks a condition; throws shflbw::Error with location info on failure.
+#define SHFLBW_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::shflbw::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+/// Checks a condition with a streamed message, e.g.
+/// SHFLBW_CHECK_MSG(m > 0, "rows must be positive, got " << m);
+#define SHFLBW_CHECK_MSG(cond, stream_expr)                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream shflbw_check_os;                                   \
+      shflbw_check_os << stream_expr;                                       \
+      ::shflbw::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__,        \
+                                          shflbw_check_os.str());           \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,90 @@
+#include "common/fp16.h"
+
+#include <bit>
+#include <cstring>
+#include <ostream>
+
+namespace shflbw {
+namespace {
+
+std::uint32_t FloatBits(float f) { return std::bit_cast<std::uint32_t>(f); }
+float BitsFloat(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+}  // namespace
+
+std::uint16_t Fp16::FromFloat(float f) {
+  const std::uint32_t x = FloatBits(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+    const std::uint32_t mantissa = (abs > 0x7F800000u) ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | mantissa);
+  }
+  if (abs >= 0x477FF000u) {
+    // Rounds to a magnitude >= 65520 -> fp16 infinity.
+    // (0x477FF000 is 65520.0f, the smallest float that rounds to inf.)
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal fp16 (or zero): |f| < 2^-14. Align mantissa to a fixed
+    // binary point and round-to-nearest-even.
+    if (abs < 0x33000000u) {
+      // Below half of the smallest subnormal (2^-25): rounds to zero.
+      return static_cast<std::uint16_t>(sign);
+    }
+    // Result = round(value / 2^-24) subnormal units. With the implicit
+    // leading bit, value = m * 2^(exp-150), so units = m * 2^(exp-126):
+    // discard (126 - exp) bits with round-to-nearest-even.
+    const int exp = static_cast<int>(abs >> 23);
+    const std::uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
+    const int shift = 126 - exp;
+    const std::uint32_t kept = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    std::uint32_t rounded = kept;
+    if (rem > half || (rem == half && (kept & 1u))) ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal range. Re-bias exponent from 127 to 15, keep 10 mantissa bits,
+  // round-to-nearest-even (carry may overflow into the exponent, which is
+  // exactly what we want).
+  const std::uint32_t mant = abs & 0x7FFFFFu;
+  const std::uint32_t exp16 = ((abs >> 23) - 127 + 15) << 10;
+  const std::uint32_t kept = mant >> 13;
+  const std::uint32_t rem = mant & 0x1FFFu;
+  std::uint32_t h = exp16 | kept;
+  if (rem > 0x1000u || (rem == 0x1000u && (kept & 1u))) ++h;
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+float Fp16::ToFloatImpl(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x3FFu;
+
+  if (exp == 0x1Fu) {  // Inf / NaN
+    return BitsFloat(sign | 0x7F800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return BitsFloat(sign);  // +-0
+    // Subnormal: value = mant * 2^-24. Normalize into fp32.
+    int e = -1;
+    std::uint32_t m = mant;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x400u) == 0);
+    const std::uint32_t exp32 = (127 - 15 - e) << 23;
+    return BitsFloat(sign | exp32 | ((m & 0x3FFu) << 13));
+  }
+  const std::uint32_t exp32 = (exp - 15 + 127) << 23;
+  return BitsFloat(sign | exp32 | (mant << 13));
+}
+
+std::ostream& operator<<(std::ostream& os, Fp16 h) {
+  return os << h.ToFloat();
+}
+
+}  // namespace shflbw

@@ -1,0 +1,82 @@
+// IEEE 754 binary16 (half precision) software emulation.
+//
+// The paper's kernels run in half precision on tensor-cores (fp16 inputs,
+// fp32 accumulation, as the NVIDIA mma.sync instruction does). Since this
+// build targets CPUs without native _Float16 guarantees, we emulate fp16
+// with explicit bit-level conversion. Arithmetic is performed in float and
+// rounded back through the fp16 format, matching the value semantics of
+// loading an fp16 operand into a tensor-core fragment.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace shflbw {
+
+/// Half-precision float stored as its 16-bit pattern. Round-to-nearest-even
+/// on conversion from float. Supports subnormals, infinities and NaN.
+class Fp16 {
+ public:
+  constexpr Fp16() = default;
+  /// Converts from float with round-to-nearest-even.
+  explicit Fp16(float f) : bits_(FromFloat(f)) {}
+
+  /// Reinterprets a raw 16-bit pattern as an Fp16.
+  static constexpr Fp16 FromBits(std::uint16_t bits) {
+    Fp16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  /// Widens to float (exact: every fp16 value is representable in fp32).
+  float ToFloat() const { return ToFloatImpl(bits_); }
+  explicit operator float() const { return ToFloat(); }
+
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  bool IsNan() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  bool IsInf() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) == 0;
+  }
+  bool IsZero() const { return (bits_ & 0x7FFFu) == 0; }
+
+  /// Bit-exact comparison except that +0 == -0 and NaN != NaN.
+  friend bool operator==(Fp16 a, Fp16 b) {
+    if (a.IsNan() || b.IsNan()) return false;
+    if (a.IsZero() && b.IsZero()) return true;
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(Fp16 a, Fp16 b) { return !(a == b); }
+
+  friend Fp16 operator+(Fp16 a, Fp16 b) {
+    return Fp16(a.ToFloat() + b.ToFloat());
+  }
+  friend Fp16 operator-(Fp16 a, Fp16 b) {
+    return Fp16(a.ToFloat() - b.ToFloat());
+  }
+  friend Fp16 operator*(Fp16 a, Fp16 b) {
+    return Fp16(a.ToFloat() * b.ToFloat());
+  }
+  friend Fp16 operator/(Fp16 a, Fp16 b) {
+    return Fp16(a.ToFloat() / b.ToFloat());
+  }
+  Fp16 operator-() const { return FromBits(bits_ ^ 0x8000u); }
+
+ private:
+  static std::uint16_t FromFloat(float f);
+  static float ToFloatImpl(std::uint16_t bits);
+
+  std::uint16_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Fp16 h);
+
+/// Fused multiply-accumulate in fp32, as tensor-core MMA accumulates:
+/// fp16 operands are widened exactly, the product and sum are fp32.
+inline float FmaF16F32(Fp16 a, Fp16 b, float acc) {
+  return acc + a.ToFloat() * b.ToFloat();
+}
+
+}  // namespace shflbw

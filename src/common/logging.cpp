@@ -1,0 +1,30 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace shflbw {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void LogLine(LogLevel level, const std::string& msg) {
+  std::cerr << "[shflbw " << LevelName(level) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace shflbw

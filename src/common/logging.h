@@ -1,0 +1,36 @@
+// Minimal leveled logging to stderr; benches use it for progress lines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace shflbw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void LogLine(LogLevel level, const std::string& msg);
+}
+
+}  // namespace shflbw
+
+#define SHFLBW_LOG(level, stream_expr)                                   \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::shflbw::GetLogLevel())) {                     \
+      std::ostringstream shflbw_log_os;                                  \
+      shflbw_log_os << stream_expr;                                      \
+      ::shflbw::detail::LogLine(level, shflbw_log_os.str());             \
+    }                                                                    \
+  } while (0)
+
+#define SHFLBW_INFO(stream_expr) \
+  SHFLBW_LOG(::shflbw::LogLevel::kInfo, stream_expr)
+#define SHFLBW_WARN(stream_expr) \
+  SHFLBW_LOG(::shflbw::LogLevel::kWarn, stream_expr)
+#define SHFLBW_DEBUG(stream_expr) \
+  SHFLBW_LOG(::shflbw::LogLevel::kDebug, stream_expr)

@@ -1,0 +1,121 @@
+// Dense row-major matrix container used throughout the library.
+//
+// The paper assumes row-major dense activations ("we make batch the
+// innermost dimension", §4.3); this container is the canonical carrier for
+// weights (M x K), activations (K x N) and outputs (M x N).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fp16.h"
+
+namespace shflbw {
+
+/// Row-major dense matrix. Value type is typically float (master weights,
+/// importance scores) or Fp16 (kernel operands).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, T init = T{})
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, init) {
+    SHFLBW_CHECK_MSG(rows >= 0 && cols >= 0,
+                     "negative shape " << rows << "x" << cols);
+  }
+  Matrix(int rows, int cols, std::vector<T> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    SHFLBW_CHECK_MSG(
+        data_.size() == static_cast<std::size_t>(rows) * cols,
+        "data size " << data_.size() << " != " << rows << "*" << cols);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int r, int c) {
+    SHFLBW_CHECK_MSG(InBounds(r, c), "(" << r << "," << c << ") out of "
+                                         << rows_ << "x" << cols_);
+    return data_[Index(r, c)];
+  }
+  const T& at(int r, int c) const {
+    SHFLBW_CHECK_MSG(InBounds(r, c), "(" << r << "," << c << ") out of "
+                                         << rows_ << "x" << cols_);
+    return data_[Index(r, c)];
+  }
+  /// Unchecked access for inner loops.
+  T& operator()(int r, int c) { return data_[Index(r, c)]; }
+  const T& operator()(int r, int c) const { return data_[Index(r, c)]; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(int r) { return data_.data() + Index(r, 0); }
+  const T* row(int r) const { return data_.data() + Index(r, 0); }
+
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  bool InBounds(int r, int c) const {
+    return r >= 0 && r < rows_ && c >= 0 && c < cols_;
+  }
+  std::size_t Index(int r, int c) const {
+    return static_cast<std::size_t>(r) * cols_ + c;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Lossy elementwise conversion float -> fp16 (round-to-nearest-even).
+inline Matrix<Fp16> ToFp16(const Matrix<float>& m) {
+  Matrix<Fp16> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.storage()[i] = Fp16(m.storage()[i]);
+  }
+  return out;
+}
+
+/// Exact elementwise widening fp16 -> float.
+inline Matrix<float> ToFloat(const Matrix<Fp16>& m) {
+  Matrix<float> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.storage()[i] = m.storage()[i].ToFloat();
+  }
+  return out;
+}
+
+/// Number of non-zero entries.
+inline std::size_t CountNonZeros(const Matrix<float>& m) {
+  return static_cast<std::size_t>(
+      std::count_if(m.storage().begin(), m.storage().end(),
+                    [](float v) { return v != 0.0f; }));
+}
+
+/// Fraction of zero entries in [0, 1].
+inline double Sparsity(const Matrix<float>& m) {
+  if (m.size() == 0) return 0.0;
+  return 1.0 - static_cast<double>(CountNonZeros(m)) /
+                   static_cast<double>(m.size());
+}
+
+/// Max |a - b| over all entries; shapes must match.
+inline float MaxAbsDiff(const Matrix<float>& a, const Matrix<float>& b) {
+  SHFLBW_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a.storage()[i] - b.storage()[i]));
+  }
+  return worst;
+}
+
+}  // namespace shflbw

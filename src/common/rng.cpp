@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace shflbw {
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  std::shuffle(p.begin(), p.end(), gen_);
+  return p;
+}
+
+Matrix<float> Rng::SparseMatrix(int rows, int cols, double density) {
+  SHFLBW_CHECK_MSG(density >= 0.0 && density <= 1.0,
+                   "density " << density << " outside [0,1]");
+  Matrix<float> m(rows, cols);
+  for (auto& v : m.storage()) {
+    v = Bernoulli(density) ? static_cast<float>(Normal()) : 0.0f;
+  }
+  return m;
+}
+
+}  // namespace shflbw

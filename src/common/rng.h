@@ -1,0 +1,71 @@
+// Deterministic random number generation for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// Thin wrapper over std::mt19937_64 with convenience samplers. All
+/// experiments seed explicitly so every table/figure is reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) : gen_(seed) {}
+
+  std::mt19937_64& engine() { return gen_; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    std::uniform_int_distribution<int> d(lo, hi);
+    return d(gen_);
+  }
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+  /// Normal with the given mean/stddev.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(gen_);
+  }
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  /// Dense matrix with iid N(mean, stddev) entries.
+  Matrix<float> NormalMatrix(int rows, int cols, float mean = 0.0f,
+                             float stddev = 1.0f) {
+    Matrix<float> m(rows, cols);
+    for (auto& v : m.storage()) {
+      v = static_cast<float>(Normal(mean, stddev));
+    }
+    return m;
+  }
+
+  /// Dense matrix with iid U[lo, hi) entries.
+  Matrix<float> UniformMatrix(int rows, int cols, float lo = -1.0f,
+                              float hi = 1.0f) {
+    Matrix<float> m(rows, cols);
+    for (auto& v : m.storage()) {
+      v = static_cast<float>(Uniform(lo, hi));
+    }
+    return m;
+  }
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Matrix where each entry is kept (N(0,1)) with probability `density`
+  /// and zero otherwise — an unstructured-sparse weight generator.
+  Matrix<float> SparseMatrix(int rows, int cols, double density);
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace shflbw

@@ -1,0 +1,135 @@
+#include "core/evaluator.h"
+
+#include <cmath>
+
+#include "arch/cost_model.h"
+#include "common/check.h"
+#include "kernels/conv2d.h"
+#include "kernels/kernel_registry.h"
+#include "prune/importance.h"
+
+namespace shflbw {
+
+KernelClass PatternKernelClass(SparsePattern pattern) {
+  switch (pattern) {
+    case SparsePattern::kDense: return KernelClass::kDenseTensorCore;
+    case SparsePattern::kUnstructured: return KernelClass::kSputnik;
+    case SparsePattern::kBlockWise: return KernelClass::kBsrTensorCore;
+    case SparsePattern::kVectorWise:
+      return KernelClass::kVectorWiseTensorCore;
+    case SparsePattern::kShflBw: return KernelClass::kShflBwTensorCore;
+    case SparsePattern::kBalanced24: return KernelClass::kBalanced24;
+  }
+  throw Error("unknown pattern");
+}
+
+std::optional<ModelSpeedup> EvaluateGemmModel(
+    const std::vector<GemmLayerSpec>& layers, const std::vector<int>& counts,
+    KernelClass klass, double density, int v, const GpuSpec& spec) {
+  SHFLBW_CHECK_MSG(layers.size() == counts.size(),
+                   "layers/counts size mismatch");
+  ModelSpeedup total;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const GemmLayerSpec& l = layers[i];
+    LayerProblem p{l.m, l.n, l.k, density, v};
+    const auto sparse_s = LayerSeconds(klass, p, spec);
+    if (!sparse_s) return std::nullopt;
+    LayerProblem dense_p = p;
+    dense_p.density = 1.0;
+    const auto dense_s =
+        LayerSeconds(KernelClass::kDenseTensorCore, dense_p, spec);
+    LayerTiming t{l.name, *dense_s * counts[i], *sparse_s * counts[i],
+                  *dense_s / *sparse_s};
+    total.dense_s += t.dense_s;
+    total.sparse_s += t.sparse_s;
+    total.layers.push_back(std::move(t));
+  }
+  total.speedup = total.dense_s / total.sparse_s;
+  return total;
+}
+
+std::optional<ModelSpeedup> EvaluateConvModel(
+    const std::vector<ConvLayerSpec>& layers, KernelClass klass,
+    double density, int v, const GpuSpec& spec) {
+  const bool has_conv =
+      klass == KernelClass::kDenseTensorCore ||
+      klass == KernelClass::kVectorWiseTensorCore ||
+      klass == KernelClass::kShflBwTensorCore;
+  if (!has_conv) return std::nullopt;  // §6.2: baselines lack convolution
+
+  const CostModel model(spec);
+  ModelSpeedup total;
+  for (const ConvLayerSpec& l : layers) {
+    ConvShape shape;
+    shape.batch = l.batch;
+    shape.in_c = l.in_c;
+    shape.in_h = l.in_h;
+    shape.in_w = l.in_w;
+    shape.out_c = l.out_c;
+    shape.kh = l.kh;
+    shape.kw = l.kw;
+    shape.stride = l.stride;
+    shape.pad = l.pad;
+
+    if (shape.GemmM() % v != 0) return std::nullopt;
+
+    const double dense_s = model.Seconds(Conv2dDenseStats(shape, spec));
+    double sparse_s = 0;
+    if (klass == KernelClass::kDenseTensorCore) {
+      sparse_s = dense_s;
+    } else {
+      KernelStats s = Conv2dShflBwStats(shape, density, v, spec);
+      if (klass == KernelClass::kVectorWiseTensorCore) {
+        // Identical engine; drop the row-index metadata.
+        s.kernel_class = KernelClass::kVectorWiseTensorCore;
+        s.metadata_bytes -= 4.0 * shape.GemmM();
+        s.dram_read_bytes -= 4.0 * shape.GemmM();
+      }
+      sparse_s = model.Seconds(s);
+    }
+    LayerTiming t{l.name, dense_s * l.repeat, sparse_s * l.repeat,
+                  dense_s / sparse_s};
+    total.dense_s += t.dense_s;
+    total.sparse_s += t.sparse_s;
+    total.layers.push_back(std::move(t));
+  }
+  total.speedup = total.dense_s / total.sparse_s;
+  return total;
+}
+
+double ProxyQuality(double dense_score, double relative_retention,
+                    double sensitivity) {
+  SHFLBW_CHECK_MSG(relative_retention >= 0.0 && relative_retention <= 1.0001,
+                   "relative_retention " << relative_retention);
+  return dense_score *
+         std::pow(std::min(relative_retention, 1.0), sensitivity);
+}
+
+QualityResult EvaluateQuality(const std::vector<Matrix<float>>& weights,
+                              SparsePattern pattern, double density,
+                              const PruneOptions& opts, double dense_score,
+                              double sensitivity) {
+  SHFLBW_CHECK_MSG(!weights.empty(), "no weight matrices");
+  double retained = 0.0;
+  double unstructured_retained = 0.0;
+  double total = 0.0;
+  for (const Matrix<float>& w : weights) {
+    const Matrix<float> scores = MagnitudeScores(w);
+    const Matrix<float> mask = PatternMask(scores, pattern, density, opts);
+    retained += RetainedScore(scores, mask);
+    unstructured_retained += RetainedScore(
+        scores, PatternMask(scores, SparsePattern::kUnstructured, density,
+                            opts));
+    for (float s : scores.storage()) total += s;
+  }
+  QualityResult q;
+  q.retained_ratio = total > 0.0 ? retained / total : 0.0;
+  q.relative_retention = unstructured_retained > 0.0
+                             ? retained / unstructured_retained
+                             : 0.0;
+  q.proxy_score =
+      ProxyQuality(dense_score, q.relative_retention, sensitivity);
+  return q;
+}
+
+}  // namespace shflbw

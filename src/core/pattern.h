@@ -1,0 +1,24 @@
+// The sparsity patterns compared throughout the paper (Fig. 3), as a
+// public-API enum.
+#pragma once
+
+#include <string>
+
+namespace shflbw {
+
+enum class SparsePattern {
+  kDense,         // no pruning
+  kUnstructured,  // magnitude pruning, no structure
+  kBlockWise,     // V x V blocks (Fig. 3(d))
+  kVectorWise,    // V x 1 vectors, contiguous row groups (Fig. 3(c))
+  kShflBw,        // shuffled block-wise — the paper's pattern (Fig. 3(b))
+  kBalanced24,    // 2:4 balanced (A100 sparse tensor-core)
+};
+
+std::string SparsePatternName(SparsePattern p);
+
+/// Parses "dense", "unstructured", "bw", "vw", "shflbw", "2in4"
+/// (case-insensitive; also accepts the long names). Throws on others.
+SparsePattern ParseSparsePattern(const std::string& name);
+
+}  // namespace shflbw

@@ -1,0 +1,38 @@
+// The prune -> mask pipeline shared by SparseLinear/SparseConv2d and the
+// quality experiments: one entry point that applies any SparsePattern to
+// a weight matrix at a target density.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/pattern.h"
+#include "prune/shfl_bw_search.h"
+
+namespace shflbw {
+
+struct PruneResult {
+  Matrix<float> mask;             // binary mask, original row order
+  Matrix<float> pruned_weights;   // weights .* mask
+  /// Set only for kShflBw: the discovered row permutation.
+  std::optional<std::vector<int>> storage_to_original;
+};
+
+struct PruneOptions {
+  int v = 32;  // block / vector size (ignored by patterns without V)
+  ShflBwSearchOptions shflbw;  // search knobs for kShflBw
+};
+
+/// Applies `pattern` pruning at `density` to `weights`. kDense returns an
+/// all-ones mask; kBalanced24 requires density == 0.5.
+PruneResult PruneWithPattern(const Matrix<float>& weights,
+                             SparsePattern pattern, double density,
+                             const PruneOptions& opts = {});
+
+/// The masker for a pattern as a grow-and-prune-compatible callable
+/// (scores, density) -> mask.
+Matrix<float> PatternMask(const Matrix<float>& scores, SparsePattern pattern,
+                          double density, const PruneOptions& opts = {});
+
+}  // namespace shflbw

@@ -1,0 +1,60 @@
+#include "core/sparse_conv2d.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+
+SparseConv2d::SparseConv2d(const Matrix<float>& filter_matrix,
+                           const ConvShape& shape, const Options& options)
+    : options_(options), shape_(shape) {
+  SHFLBW_CHECK_MSG(filter_matrix.rows() == shape.out_c &&
+                       filter_matrix.cols() == shape.GemmK(),
+                   "filter matrix " << filter_matrix.rows() << "x"
+                                    << filter_matrix.cols()
+                                    << " does not match conv shape");
+  SHFLBW_CHECK_MSG(options.pattern == SparsePattern::kDense ||
+                       options.pattern == SparsePattern::kShflBw,
+                   "SparseConv2d supports dense and shfl-bw patterns "
+                   "(the paper's conv kernel); got "
+                       << SparsePatternName(options.pattern));
+  if (options.pattern == SparsePattern::kDense) {
+    pruned_weights_ = filter_matrix;
+    return;
+  }
+  PruneOptions popt;
+  popt.v = options.v;
+  popt.shflbw = options.search;
+  PruneResult pr = PruneWithPattern(filter_matrix, SparsePattern::kShflBw,
+                                    options.density, popt);
+  pruned_weights_ = std::move(pr.pruned_weights);
+  shflbw_ = ShflBwMatrix::FromDense(pruned_weights_, options.v,
+                                    *pr.storage_to_original);
+}
+
+Matrix<float> SparseConv2d::Forward(const Tensor4& input) const {
+  const GpuSpec& spec = GetGpuSpec(GpuArch::kV100);
+  if (options_.pattern == SparsePattern::kDense) {
+    return Conv2dDense(input, pruned_weights_, shape_, spec).c;
+  }
+  return Conv2dShflBw(input, *shflbw_, shape_, spec, options_.tile).c;
+}
+
+KernelStats SparseConv2d::Stats(const GpuSpec& spec) const {
+  if (options_.pattern == SparsePattern::kDense) {
+    return Conv2dDenseStats(shape_, spec);
+  }
+  return Conv2dShflBwStats(shape_, options_.density, options_.v, spec,
+                           options_.tile);
+}
+
+TimeBreakdown SparseConv2d::ModelTime(const GpuSpec& spec) const {
+  return CostModel(spec).Estimate(Stats(spec));
+}
+
+double SparseConv2d::SpeedupOverDense(const GpuSpec& spec) const {
+  const CostModel model(spec);
+  const double dense_s = model.Seconds(Conv2dDenseStats(shape_, spec));
+  return dense_s / ModelTime(spec).total_s;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,46 @@
+// SparseConv2d — the paper's Shfl-BW convolution layer (implicit GEMM,
+// §4.1), plus a dense cuDNN-style baseline mode.
+#pragma once
+
+#include <optional>
+
+#include "arch/cost_model.h"
+#include "core/pattern.h"
+#include "core/pipeline.h"
+#include "kernels/conv2d.h"
+
+namespace shflbw {
+
+/// A 2D convolution whose filters are pruned to Shfl-BW (or kept dense).
+/// Filter weights live in implicit-GEMM layout: out_c x (in_c*kh*kw).
+class SparseConv2d {
+ public:
+  struct Options {
+    SparsePattern pattern = SparsePattern::kShflBw;  // kDense or kShflBw
+    double density = 0.25;
+    int v = 32;
+    TileConfig tile;
+    ShflBwSearchOptions search;
+  };
+
+  SparseConv2d(const Matrix<float>& filter_matrix, const ConvShape& shape,
+               const Options& options);
+
+  /// Runs the convolution; output is out_c x (batch*oh*ow).
+  Matrix<float> Forward(const Tensor4& input) const;
+
+  KernelStats Stats(const GpuSpec& spec) const;
+  TimeBreakdown ModelTime(const GpuSpec& spec) const;
+  double SpeedupOverDense(const GpuSpec& spec) const;
+
+  const Matrix<float>& pruned_weights() const { return pruned_weights_; }
+  const ConvShape& shape() const { return shape_; }
+
+ private:
+  Options options_;
+  ConvShape shape_;
+  Matrix<float> pruned_weights_;
+  std::optional<ShflBwMatrix> shflbw_;
+};
+
+}  // namespace shflbw

@@ -1,0 +1,55 @@
+// SparseModel — a stack of pruned linear layers executed end-to-end:
+// the deployment-side object a user builds once (prune + compress every
+// layer) and then runs per batch. Provides whole-model modelled time,
+// compressed-size accounting, and speedup over the dense stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sparse_linear.h"
+
+namespace shflbw {
+
+/// Activation applied between layers of the stack.
+enum class Activation { kNone, kRelu };
+
+/// A named pruned layer inside the model.
+struct SparseModelLayer {
+  std::string name;
+  SparseLinear linear;
+  Activation activation = Activation::kRelu;
+};
+
+class SparseModel {
+ public:
+  SparseModel() = default;
+
+  /// Appends a layer (weights are pruned/compressed on insertion).
+  /// Layer input width must match the previous layer's output width.
+  void AddLayer(const std::string& name, const Matrix<float>& weights,
+                const SparseLinear::Options& options,
+                Activation activation = Activation::kRelu);
+
+  /// Runs the whole stack on x (features x batch).
+  Matrix<float> Forward(const Matrix<float>& x) const;
+
+  /// Sum of modelled layer times for a batch of n columns.
+  double ModelSeconds(int n, const GpuSpec& spec) const;
+
+  /// Modelled speedup of the whole stack over its dense counterpart.
+  double SpeedupOverDense(int n, const GpuSpec& spec) const;
+
+  /// Compressed weight + metadata bytes across all layers (fp16 values).
+  double CompressedBytes() const;
+  /// Dense fp16 weight bytes across all layers.
+  double DenseBytes() const;
+
+  std::size_t NumLayers() const { return layers_.size(); }
+  const SparseModelLayer& layer(std::size_t i) const { return layers_[i]; }
+
+ private:
+  std::vector<SparseModelLayer> layers_;
+};
+
+}  // namespace shflbw

@@ -1,0 +1,95 @@
+#include "format/balanced24.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+
+Balanced24Matrix Balanced24Matrix::FromDense(const Matrix<float>& dense) {
+  SHFLBW_CHECK_MSG(dense.cols() % 4 == 0,
+                   "cols=" << dense.cols() << " not a multiple of 4");
+  Balanced24Matrix m;
+  m.rows = dense.rows();
+  m.cols = dense.cols();
+  m.values.reserve(static_cast<std::size_t>(m.rows) * m.cols / 2);
+  m.meta.reserve(m.values.capacity());
+  for (int r = 0; r < m.rows; ++r) {
+    for (int q = 0; q < m.QuadsPerRow(); ++q) {
+      // Select the two stored slots: all non-zeros, then zero padding at
+      // the lowest unused positions. Slots are emitted in ascending
+      // position order (required by Validate and by the ascending-K
+      // accumulation the kernels rely on for bit-exactness).
+      int kept = 0;
+      std::uint8_t used[4] = {0, 0, 0, 0};
+      for (int i = 0; i < 4; ++i) {
+        if (dense(r, q * 4 + i) != 0.0f) {
+          SHFLBW_CHECK_MSG(kept < 2, "quad (" << r << "," << q
+                                              << ") has >2 non-zeros; "
+                                                 "matrix is not 2:4");
+          used[i] = 1;
+          ++kept;
+        }
+      }
+      for (int i = 0; i < 4 && kept < 2; ++i) {
+        if (!used[i]) {
+          used[i] = 1;
+          ++kept;
+        }
+      }
+      for (int i = 0; i < 4; ++i) {
+        if (used[i]) {
+          m.values.push_back(dense(r, q * 4 + i));
+          m.meta.push_back(static_cast<std::uint8_t>(i));
+        }
+      }
+    }
+  }
+  return m;
+}
+
+Matrix<float> Balanced24Matrix::ToDense() const {
+  Matrix<float> dense(rows, cols);
+  std::size_t k = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int q = 0; q < QuadsPerRow(); ++q) {
+      for (int s = 0; s < 2; ++s, ++k) {
+        dense(r, q * 4 + meta[k]) = values[k];
+      }
+    }
+  }
+  return dense;
+}
+
+void Balanced24Matrix::Validate() const {
+  SHFLBW_CHECK(cols % 4 == 0);
+  const std::size_t expected =
+      static_cast<std::size_t>(rows) * cols / 2;
+  SHFLBW_CHECK_MSG(values.size() == expected,
+                   "values size " << values.size() << " != " << expected);
+  SHFLBW_CHECK(meta.size() == values.size());
+  std::size_t k = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int q = 0; q < QuadsPerRow(); ++q, k += 2) {
+      SHFLBW_CHECK_MSG(meta[k] < 4 && meta[k + 1] < 4,
+                       "meta out of range in quad (" << r << "," << q << ")");
+      SHFLBW_CHECK_MSG(meta[k] < meta[k + 1],
+                       "meta not strictly increasing in quad (" << r << ","
+                                                                << q << ")");
+    }
+  }
+}
+
+bool Satisfies24(const Matrix<float>& dense) {
+  if (dense.cols() % 4 != 0) return false;
+  for (int r = 0; r < dense.rows(); ++r) {
+    for (int q = 0; q < dense.cols() / 4; ++q) {
+      int nz = 0;
+      for (int i = 0; i < 4; ++i) {
+        if (dense(r, q * 4 + i) != 0.0f) ++nz;
+      }
+      if (nz > 2) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,42 @@
+// 2:4 balanced sparsity format, as supported by the A100 sparse
+// tensor-core and the cuSPARSELt library (§2.2): within every run of 4
+// consecutive elements in a row, at most 2 are non-zero. Storage keeps
+// exactly 2 values per quad plus 2-bit position metadata.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// 2:4 structured sparse matrix. cols must be a multiple of 4.
+struct Balanced24Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> values;       // rows * cols/2 (2 kept per quad)
+  std::vector<std::uint8_t> meta;  // same size; position in quad (0..3)
+
+  int QuadsPerRow() const { return cols / 4; }
+
+  /// Builds from a dense matrix that satisfies the 2:4 constraint (every
+  /// aligned quad has at most 2 non-zeros). Quads with fewer than 2
+  /// non-zeros are padded with zero values at deterministic positions.
+  /// Throws if any quad has 3+ non-zeros.
+  static Balanced24Matrix FromDense(const Matrix<float>& dense);
+
+  Matrix<float> ToDense() const;
+
+  void Validate() const;
+
+  /// Metadata bytes: 2 bits per kept value, packed (cuSPARSELt layout).
+  double MetadataBytes() const {
+    return static_cast<double>(meta.size()) * 2.0 / 8.0;
+  }
+};
+
+/// True iff every aligned 1x4 quad has at most 2 non-zeros.
+bool Satisfies24(const Matrix<float>& dense);
+
+}  // namespace shflbw

@@ -1,0 +1,49 @@
+// Block Sparse Row format (V x V dense blocks) — the carrier for the
+// block-wise sparsity baseline (cuSPARSE bsrmm, Fig. 3(d) of the paper).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// BSR matrix: non-zeros form aligned V x V blocks. Values of one block
+/// are stored contiguously, row-major within the block.
+struct BsrMatrix {
+  int rows = 0;        // element rows (multiple of block_size)
+  int cols = 0;        // element cols (multiple of block_size)
+  int block_size = 0;  // V
+  std::vector<int> block_row_ptr;  // size rows/V + 1
+  std::vector<int> block_col_idx;  // block-column of each stored block
+  std::vector<float> values;       // nnz_blocks * V * V
+
+  int BlockRows() const { return rows / block_size; }
+  int BlockCols() const { return cols / block_size; }
+  int NnzBlocks() const { return static_cast<int>(block_col_idx.size()); }
+  double Density() const {
+    const double total = static_cast<double>(BlockRows()) * BlockCols();
+    return total > 0 ? NnzBlocks() / total : 0.0;
+  }
+
+  /// Builds BSR from a dense matrix whose sparsity is block-aligned: a
+  /// block is stored iff it contains any non-zero. (The matrix need not
+  /// be *exactly* block-wise; kept blocks may contain zeros, which is the
+  /// padding cost block pruning pays.)
+  static BsrMatrix FromDense(const Matrix<float>& dense, int block_size);
+
+  Matrix<float> ToDense() const;
+
+  void Validate() const;
+
+  double MetadataBytes() const {
+    return 4.0 * (block_row_ptr.size() + block_col_idx.size());
+  }
+};
+
+/// True iff every V x V block of `dense` is either all-zero or the matrix
+/// treats it as kept — i.e. the pattern is exactly expressible at block
+/// granularity with no fully-zero stored blocks.
+bool IsBlockAligned(const Matrix<float>& dense, int block_size);
+
+}  // namespace shflbw

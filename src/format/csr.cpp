@@ -1,0 +1,56 @@
+#include "format/csr.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+
+CsrMatrix CsrMatrix::FromDense(const Matrix<float>& dense) {
+  CsrMatrix csr;
+  csr.rows = dense.rows();
+  csr.cols = dense.cols();
+  csr.row_ptr.reserve(csr.rows + 1);
+  csr.row_ptr.push_back(0);
+  for (int r = 0; r < csr.rows; ++r) {
+    for (int c = 0; c < csr.cols; ++c) {
+      const float v = dense(r, c);
+      if (v != 0.0f) {
+        csr.col_idx.push_back(c);
+        csr.values.push_back(v);
+      }
+    }
+    csr.row_ptr.push_back(static_cast<int>(csr.col_idx.size()));
+  }
+  return csr;
+}
+
+Matrix<float> CsrMatrix::ToDense() const {
+  Matrix<float> dense(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      dense(r, col_idx[i]) = values[i];
+    }
+  }
+  return dense;
+}
+
+void CsrMatrix::Validate() const {
+  SHFLBW_CHECK_MSG(static_cast<int>(row_ptr.size()) == rows + 1,
+                   "row_ptr size " << row_ptr.size() << " != rows+1");
+  SHFLBW_CHECK(row_ptr.front() == 0);
+  SHFLBW_CHECK(row_ptr.back() == Nnz());
+  SHFLBW_CHECK(col_idx.size() == values.size());
+  for (int r = 0; r < rows; ++r) {
+    SHFLBW_CHECK_MSG(row_ptr[r] <= row_ptr[r + 1],
+                     "row_ptr not monotone at row " << r);
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      SHFLBW_CHECK_MSG(col_idx[i] >= 0 && col_idx[i] < cols,
+                       "col " << col_idx[i] << " out of range at row " << r);
+      if (i > row_ptr[r]) {
+        SHFLBW_CHECK_MSG(col_idx[i - 1] < col_idx[i],
+                         "columns not strictly sorted in row " << r);
+      }
+    }
+  }
+}
+
+}  // namespace shflbw

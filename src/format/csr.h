@@ -1,0 +1,42 @@
+// Compressed Sparse Row format — the carrier for the unstructured-sparsity
+// baselines (cuSPARSE csrmm, Sputnik).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// CSR sparse matrix with float master values (kernels round operands
+/// through fp16, matching half-precision GPU execution).
+struct CsrMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> row_ptr;   // size rows+1
+  std::vector<int> col_idx;   // size nnz, sorted within each row
+  std::vector<float> values;  // size nnz
+
+  int Nnz() const { return static_cast<int>(values.size()); }
+  double Density() const {
+    const double total = static_cast<double>(rows) * cols;
+    return total > 0 ? Nnz() / total : 0.0;
+  }
+
+  /// Builds CSR from a dense matrix, keeping exact non-zeros.
+  static CsrMatrix FromDense(const Matrix<float>& dense);
+
+  /// Expands back to dense (exact inverse of FromDense).
+  Matrix<float> ToDense() const;
+
+  /// Checks structural invariants (monotone row_ptr, sorted in-range
+  /// column indices); throws shflbw::Error on violation.
+  void Validate() const;
+
+  /// Bytes of index metadata a GPU kernel must load (row_ptr + col_idx).
+  double MetadataBytes() const {
+    return 4.0 * (row_ptr.size() + col_idx.size());
+  }
+};
+
+}  // namespace shflbw

@@ -1,0 +1,41 @@
+// Binary serialization of the sparse formats — what a deployment
+// pipeline stores after offline pruning/compression (Fig. 4 step (a) is
+// run once; inference servers load the compressed artifact).
+//
+// Format: a small tagged header (magic, version, format kind) followed
+// by dimension fields and raw little-endian arrays. Round-trips are
+// exact (bit-level) for all value/index data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "format/balanced24.h"
+#include "format/bsr.h"
+#include "format/csr.h"
+#include "format/shfl_bw.h"
+#include "format/vector_wise.h"
+
+namespace shflbw {
+
+void Serialize(const CsrMatrix& m, std::ostream& os);
+void Serialize(const BsrMatrix& m, std::ostream& os);
+void Serialize(const VectorWiseMatrix& m, std::ostream& os);
+void Serialize(const ShflBwMatrix& m, std::ostream& os);
+void Serialize(const Balanced24Matrix& m, std::ostream& os);
+
+CsrMatrix DeserializeCsr(std::istream& is);
+BsrMatrix DeserializeBsr(std::istream& is);
+VectorWiseMatrix DeserializeVectorWise(std::istream& is);
+ShflBwMatrix DeserializeShflBw(std::istream& is);
+Balanced24Matrix DeserializeBalanced24(std::istream& is);
+
+/// Peeks the format kind of a serialized stream without consuming it.
+/// Returns one of "csr", "bsr", "vw", "shflbw", "b24".
+std::string PeekFormatKind(std::istream& is);
+
+/// Convenience file helpers (throw shflbw::Error on I/O failure).
+void SaveShflBw(const ShflBwMatrix& m, const std::string& path);
+ShflBwMatrix LoadShflBw(const std::string& path);
+
+}  // namespace shflbw

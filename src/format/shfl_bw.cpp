@@ -1,0 +1,158 @@
+#include "format/shfl_bw.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+/// Non-zero column set of one row, as a sorted vector (the row's
+/// "pattern" in the paper's Fig. 5 sense).
+std::vector<int> RowPattern(const Matrix<float>& dense, int r) {
+  std::vector<int> p;
+  for (int c = 0; c < dense.cols(); ++c) {
+    if (dense(r, c) != 0.0f) p.push_back(c);
+  }
+  return p;
+}
+
+/// |a ∩ b| for sorted vectors.
+int OverlapCount(const std::vector<int>& a, const std::vector<int>& b) {
+  int count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) ++ia;
+    else if (*ib < *ia) ++ib;
+    else { ++count; ++ia; ++ib; }
+  }
+  return count;
+}
+
+Matrix<float> PermuteRows(const Matrix<float>& dense,
+                          const std::vector<int>& storage_to_original) {
+  Matrix<float> out(dense.rows(), dense.cols());
+  for (int s = 0; s < dense.rows(); ++s) {
+    const int orig = storage_to_original[s];
+    for (int c = 0; c < dense.cols(); ++c) {
+      out(s, c) = dense(orig, c);
+    }
+  }
+  return out;
+}
+
+void ValidatePermutation(const std::vector<int>& p, int n) {
+  SHFLBW_CHECK_MSG(static_cast<int>(p.size()) == n,
+                   "permutation size " << p.size() << " != rows " << n);
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (int x : p) {
+    SHFLBW_CHECK_MSG(x >= 0 && x < n, "permutation entry " << x
+                                                           << " out of range");
+    SHFLBW_CHECK_MSG(!seen[x], "duplicate permutation entry " << x);
+    seen[x] = 1;
+  }
+}
+
+}  // namespace
+
+ShflBwMatrix ShflBwMatrix::FromDense(const Matrix<float>& dense, int v,
+                                     std::vector<int> storage_to_original) {
+  ValidatePermutation(storage_to_original, dense.rows());
+  ShflBwMatrix m;
+  m.vw = VectorWiseMatrix::FromDense(PermuteRows(dense, storage_to_original),
+                                     v);
+  m.storage_to_original = std::move(storage_to_original);
+  return m;
+}
+
+ShflBwMatrix ShflBwMatrix::FromDenseAuto(const Matrix<float>& dense, int v) {
+  SHFLBW_CHECK_MSG(v > 0 && dense.rows() % v == 0,
+                   "rows=" << dense.rows() << " not divisible by v=" << v);
+  const int rows = dense.rows();
+
+  // Bucket rows by identical non-zero pattern. Full buckets of v rows
+  // form exact groups (zero padding); remainders are grouped greedily by
+  // pattern overlap.
+  std::map<std::vector<int>, std::vector<int>> buckets;
+  for (int r = 0; r < rows; ++r) {
+    buckets[RowPattern(dense, r)].push_back(r);
+  }
+
+  std::vector<int> order;
+  order.reserve(rows);
+  std::vector<std::pair<std::vector<int>, std::vector<int>>> leftovers;
+  for (auto& [pattern, members] : buckets) {
+    while (static_cast<int>(members.size()) >= v) {
+      order.insert(order.end(), members.end() - v, members.end());
+      members.erase(members.end() - v, members.end());
+    }
+    if (!members.empty()) leftovers.emplace_back(pattern, members);
+  }
+
+  // Greedy: repeatedly start a group from the largest leftover bucket and
+  // fill it with the most-overlapping remaining rows.
+  std::sort(leftovers.begin(), leftovers.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.size() > b.second.size();
+            });
+  std::vector<std::pair<std::vector<int>, int>> pool;  // (pattern, row)
+  for (const auto& [pattern, members] : leftovers) {
+    for (int r : members) pool.emplace_back(pattern, r);
+  }
+  while (!pool.empty()) {
+    // Seed with the first row, then pick the v-1 best overlaps.
+    const std::vector<int> seed_pattern = pool.front().first;
+    order.push_back(pool.front().second);
+    pool.erase(pool.begin());
+    for (int picked = 1; picked < v; ++picked) {
+      SHFLBW_CHECK_MSG(!pool.empty(), "row pool exhausted mid-group");
+      auto best = pool.begin();
+      int best_overlap = -1;
+      for (auto it = pool.begin(); it != pool.end(); ++it) {
+        const int ov = OverlapCount(seed_pattern, it->first);
+        if (ov > best_overlap) {
+          best_overlap = ov;
+          best = it;
+        }
+      }
+      order.push_back(best->second);
+      pool.erase(best);
+    }
+  }
+
+  return FromDense(dense, v, std::move(order));
+}
+
+Matrix<float> ShflBwMatrix::ToDense() const {
+  const Matrix<float> permuted = vw.ToDense();
+  Matrix<float> out(rows(), cols());
+  for (int s = 0; s < rows(); ++s) {
+    const int orig = storage_to_original[s];
+    for (int c = 0; c < cols(); ++c) {
+      out(orig, c) = permuted(s, c);
+    }
+  }
+  return out;
+}
+
+void ShflBwMatrix::Validate() const {
+  vw.Validate();
+  ValidatePermutation(storage_to_original, vw.rows);
+}
+
+bool IsShflBw(const Matrix<float>& dense, int v) {
+  if (v <= 0 || dense.rows() % v != 0) return false;
+  std::map<std::vector<int>, int> pattern_counts;
+  for (int r = 0; r < dense.rows(); ++r) {
+    ++pattern_counts[RowPattern(dense, r)];
+  }
+  for (const auto& [pattern, count] : pattern_counts) {
+    if (count % v != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace shflbw

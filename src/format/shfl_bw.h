@@ -1,0 +1,57 @@
+// Shuffled Block-wise (Shfl-BW) sparse format — the paper's contribution
+// (§3.1): vector-wise sparsity composed with an arbitrary row permutation.
+//
+// Offline processing (Fig. 4 step (a)) stores the matrix as a vector-wise
+// matrix over *reordered* rows plus the original row indices; the kernel
+// computes on the contiguous reordered rows and performs the reordered
+// write-back (§4.2) at the end.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "format/vector_wise.h"
+
+namespace shflbw {
+
+/// Shfl-BW sparse matrix = vector-wise matrix on permuted rows + the
+/// permutation. storage_to_original[s] is the original row index of
+/// storage row s; it is used by the reordered write-back.
+struct ShflBwMatrix {
+  VectorWiseMatrix vw;                  // over permuted rows
+  std::vector<int> storage_to_original; // size vw.rows, a permutation
+
+  int rows() const { return vw.rows; }
+  int cols() const { return vw.cols; }
+  int v() const { return vw.v; }
+
+  /// Builds from a dense matrix in ORIGINAL row order and an explicit
+  /// permutation (storage row s holds original row storage_to_original[s]).
+  /// Typically the permutation comes from the Shfl-BW pattern search.
+  static ShflBwMatrix FromDense(const Matrix<float>& dense, int v,
+                                std::vector<int> storage_to_original);
+
+  /// Builds from a dense matrix by inferring the row grouping: rows with
+  /// identical non-zero patterns are grouped first (exactly recovering a
+  /// matrix that *is* Shfl-BW); leftover rows are grouped greedily by
+  /// pattern overlap, paying padding. Always succeeds.
+  static ShflBwMatrix FromDenseAuto(const Matrix<float>& dense, int v);
+
+  /// Expands to dense in ORIGINAL row order (inverse of FromDense).
+  Matrix<float> ToDense() const;
+
+  void Validate() const;
+
+  /// Bytes of metadata a kernel loads: vector-wise indices + the
+  /// row-index array for the reordered write-back.
+  double MetadataBytes() const {
+    return vw.MetadataBytes() + 4.0 * storage_to_original.size();
+  }
+};
+
+/// True iff `dense` is exactly expressible as Shfl-BW with vector size v
+/// and no padding: rows can be partitioned into groups of v with
+/// identical non-zero column sets.
+bool IsShflBw(const Matrix<float>& dense, int v);
+
+}  // namespace shflbw

@@ -1,0 +1,64 @@
+// Shared types for the functional GPU-kernel simulators.
+//
+// Every kernel in this directory does two things, exactly as described in
+// DESIGN.md §0:
+//   1. *Functional execution*: computes the output matrix by performing
+//      the same algorithmic steps as the corresponding CUDA kernel
+//      (tile loads, in-buffer stitching, MMA-granularity accumulation,
+//      reordered write-back), with fp16 operands and fp32 accumulation.
+//      All kernels accumulate along K in ascending order, so their
+//      outputs are bit-identical to the dense reference on the same
+//      masked weights.
+//   2. *Stats collection*: counts the DRAM/L2 traffic and MAC
+//      instructions the CUDA kernel would issue; the arch cost model
+//      converts these into modelled time on V100/T4/A100.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/kernel_stats.h"
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// Bytes per stored element (half precision).
+inline constexpr double kHalfBytes = 2.0;
+
+/// Output of one kernel invocation.
+struct KernelResult {
+  Matrix<float> c;    // M x N output (fp16-representable values)
+  KernelStats stats;  // resource counts for the cost model
+};
+
+/// Threadblock tile configuration. Defaults follow the paper's kernels
+/// (TM is set per-kernel: V for vector/Shfl-BW kernels, 128 for dense).
+struct TileConfig {
+  int tn = 128;  // output-tile columns
+  int tk = 16;   // K-step per MMA main-loop iteration
+  int pipeline_stages = 2;      // double buffering (Fig. 4(d))
+  int meta_prefetch_stage = 4;  // MetaPrefetchStage of Algorithm 1
+};
+
+/// Tensor-core MMA instruction granularity (mma.sync.m16n8k16, §2.1).
+inline constexpr int kMmaM = 16;
+inline constexpr int kMmaN = 8;
+inline constexpr int kMmaK = 16;
+
+/// Number of 16x8x16 MMA instructions needed to cover a TM x TN x TK
+/// dense tile multiply (each dimension rounded up to the granularity).
+inline double MmaInstructionCount(double tm, double tn, double tk) {
+  const double m_tiles = std::ceil(tm / kMmaM);
+  const double n_tiles = std::ceil(tn / kMmaN);
+  const double k_tiles = std::ceil(tk / kMmaK);
+  return m_tiles * n_tiles * k_tiles;
+}
+
+/// DRAM reload factor for a dense operand that is re-read across tile
+/// passes: 1 if it fits in (80% of) the L2, otherwise every pass misses.
+inline double ReloadFactor(double unique_bytes, double l2_capacity,
+                           double passes) {
+  return unique_bytes <= 0.8 * l2_capacity ? 1.0 : std::max(1.0, passes);
+}
+
+}  // namespace shflbw

@@ -1,0 +1,45 @@
+// Fused LayerNorm + transposition (§4.3 discussion).
+//
+// The Shfl-BW kernels assume row-major activations with batch innermost.
+// "In models which apply LayerNorm and require feature to be stored
+// contiguously, transposition is necessary, but transposition can be
+// easily fused into previous LayerNorm and involves negligible
+// overhead." This module provides exactly that fusion: a LayerNorm that
+// reads feature-major input and writes the batch-innermost layout the
+// sparse kernels consume, plus a traffic model showing the fusion costs
+// no extra DRAM round-trip.
+#pragma once
+
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "kernels/kernel_api.h"
+
+namespace shflbw {
+
+struct LayerNormParams {
+  std::vector<float> gamma;  // per-feature scale
+  std::vector<float> beta;   // per-feature shift
+  float epsilon = 1e-5f;
+};
+
+/// Plain LayerNorm over features: input and output are feature-major
+/// (rows = batch tokens, cols = features), normalized per token.
+Matrix<float> LayerNorm(const Matrix<float>& tokens_by_features,
+                        const LayerNormParams& params);
+
+/// Fused LayerNorm + transpose: same math, but the output is written
+/// directly in the sparse-kernel layout (rows = features, cols = batch
+/// tokens). Numerically identical to LayerNorm followed by a transpose.
+Matrix<float> LayerNormTransposed(const Matrix<float>& tokens_by_features,
+                                  const LayerNormParams& params);
+
+/// Traffic/time model: the fused kernel reads the input once and writes
+/// the transposed output once; the unfused pipeline pays an extra full
+/// read+write for the standalone transpose.
+KernelStats LayerNormFusedStats(int tokens, int features,
+                                const GpuSpec& spec);
+KernelStats LayerNormThenTransposeStats(int tokens, int features,
+                                        const GpuSpec& spec);
+
+}  // namespace shflbw

@@ -1,0 +1,53 @@
+#include "kernels/spmm_csr.h"
+
+#include "common/check.h"
+#include "common/fp16.h"
+
+namespace shflbw {
+
+KernelStats SpmmCsrScalarStats(int m, int n, int k, double nnz,
+                               const GpuSpec& spec) {
+  KernelStats s;
+  s.kernel_name = "cusparse-csrmm";
+  s.kernel_class = KernelClass::kCsrScalar;
+  s.tensor_core = false;
+  s.useful_flops = 2.0 * nnz * n;
+  s.issued_macs = nnz * n;
+
+  s.metadata_bytes = 4.0 * (m + 1) + 4.0 * nnz;  // row_ptr + col_idx
+  const double a_bytes = nnz * kHalfBytes + s.metadata_bytes;
+  const double b_unique = static_cast<double>(k) * n * kHalfBytes;
+  // Scalar gathers: every non-zero pulls one B row segment of N values
+  // through the L2 with no shared-memory reuse across rows.
+  s.l2_read_bytes = nnz * n * kHalfBytes + a_bytes;
+  s.dram_read_bytes =
+      a_bytes +
+      b_unique * ReloadFactor(b_unique, spec.l2_capacity,
+                              std::max(1.0, nnz / std::max(1, k)));
+  s.dram_write_bytes = static_cast<double>(m) * n * kHalfBytes;
+  s.threadblocks = (m + 127) / 128;
+  s.main_loop_iters = m > 0 ? static_cast<int>(nnz / m) : 0;
+  s.pipeline_stages = 0;  // csrmm does not software-pipeline
+  return s;
+}
+
+KernelResult SpmmCsrScalar(const CsrMatrix& a, const Matrix<float>& b,
+                           const GpuSpec& spec) {
+  SHFLBW_CHECK_MSG(a.cols == b.rows(), "SpMM shape mismatch");
+  const int n = b.cols();
+  KernelResult r;
+  r.c = Matrix<float>(a.rows, n);
+  for (int row = 0; row < a.rows; ++row) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int i = a.row_ptr[row]; i < a.row_ptr[row + 1]; ++i) {
+        acc = FmaF16F32(Fp16(a.values[i]), Fp16(b(a.col_idx[i], j)), acc);
+      }
+      r.c(row, j) = Fp16(acc).ToFloat();
+    }
+  }
+  r.stats = SpmmCsrScalarStats(a.rows, n, a.cols, a.Nnz(), spec);
+  return r;
+}
+
+}  // namespace shflbw

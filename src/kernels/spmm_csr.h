@@ -1,0 +1,20 @@
+// cuSPARSE-style scalar CSR SpMM baseline (the "cuSPARSE" unstructured
+// line of Fig. 6). One thread per output row, scalar gathers from B —
+// the layout and loop structure of csrmm2.
+#pragma once
+
+#include "arch/gpu_spec.h"
+#include "format/csr.h"
+#include "kernels/kernel_api.h"
+
+namespace shflbw {
+
+/// C = A_csr * B, fp16 operands / fp32 accumulation, ascending-K order.
+KernelResult SpmmCsrScalar(const CsrMatrix& a, const Matrix<float>& b,
+                           const GpuSpec& spec);
+
+/// Stats-only model for shape (m, n, k) at non-zero count nnz.
+KernelStats SpmmCsrScalarStats(int m, int n, int k, double nnz,
+                               const GpuSpec& spec);
+
+}  // namespace shflbw

@@ -1,0 +1,62 @@
+#include "kernels/spmm_shfl_bw.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+std::vector<int> KeptPerGroup(const VectorWiseMatrix& vw) {
+  std::vector<int> kept(static_cast<std::size_t>(vw.Groups()));
+  for (int g = 0; g < vw.Groups(); ++g) kept[g] = vw.KeptColumnsInGroup(g);
+  return kept;
+}
+
+/// Evenly-spread kept-vector counts for a stats-only layer model: total
+/// kept vectors = alpha * (m/v groups) * k columns, rounded per group.
+std::vector<int> UniformKept(int m, int k, double alpha, int v) {
+  SHFLBW_CHECK_MSG(v > 0 && m % v == 0,
+                   "m=" << m << " not divisible by v=" << v);
+  const int groups = m / v;
+  const int per_group =
+      static_cast<int>(std::llround(alpha * static_cast<double>(k)));
+  return std::vector<int>(static_cast<std::size_t>(groups), per_group);
+}
+
+}  // namespace
+
+KernelResult SpmmShflBw(const ShflBwMatrix& a, const Matrix<float>& b,
+                        const GpuSpec& spec, const TileConfig& cfg) {
+  KernelResult r;
+  r.c = RunVwFamilyKernel(a.vw, a.storage_to_original, b, cfg, nullptr);
+  r.stats = VwFamilyStats(a.rows(), b.cols(), a.cols(), KeptPerGroup(a.vw),
+                          a.v(), spec, cfg, KernelClass::kShflBwTensorCore,
+                          /*extra_metadata_bytes=*/4.0 * a.rows());
+  return r;
+}
+
+KernelResult SpmmShflBwTraced(const ShflBwMatrix& a, const Matrix<float>& b,
+                              const GpuSpec& spec, const TileConfig& cfg,
+                              std::vector<PipelineEvent>& trace) {
+  KernelResult r;
+  r.c = RunVwFamilyKernel(a.vw, a.storage_to_original, b, cfg, &trace);
+  r.stats = VwFamilyStats(a.rows(), b.cols(), a.cols(), KeptPerGroup(a.vw),
+                          a.v(), spec, cfg, KernelClass::kShflBwTensorCore,
+                          /*extra_metadata_bytes=*/4.0 * a.rows());
+  return r;
+}
+
+KernelStats SpmmShflBwStats(int m, int n, int k, double alpha, int v,
+                            const GpuSpec& spec, const TileConfig& cfg) {
+  return VwFamilyStats(m, n, k, UniformKept(m, k, alpha, v), v, spec, cfg,
+                       KernelClass::kShflBwTensorCore,
+                       /*extra_metadata_bytes=*/4.0 * m);
+}
+
+KernelStats SpmmVectorWiseStats(int m, int n, int k, double alpha, int v,
+                                const GpuSpec& spec, const TileConfig& cfg) {
+  return VwFamilyStats(m, n, k, UniformKept(m, k, alpha, v), v, spec, cfg,
+                       KernelClass::kVectorWiseTensorCore,
+                       /*extra_metadata_bytes=*/0.0);
+}
+
+}  // namespace shflbw

@@ -1,0 +1,39 @@
+// The Shfl-BW tensor-core SpMM — the paper's kernel (§4, Algorithm 1,
+// Fig. 4). Composition of:
+//   (a) offline processing: the ShflBwMatrix format (vector-wise storage
+//       over reordered rows + original row indices);
+//   (b) in-buffer stitching of the dense operand (§4.3);
+//   (c) tensor-core MMA over dense stitched tiles;
+//   (d) two-level pipelining with bulk metadata prefetch (§4.4);
+//   (e) reordered write-back to original row positions (§4.2).
+#pragma once
+
+#include "arch/gpu_spec.h"
+#include "format/shfl_bw.h"
+#include "kernels/spmm_vector_wise.h"
+
+namespace shflbw {
+
+/// C = A_shflbw * B on tensor-cores; C rows are in ORIGINAL order.
+KernelResult SpmmShflBw(const ShflBwMatrix& a, const Matrix<float>& b,
+                        const GpuSpec& spec, const TileConfig& cfg = {});
+
+/// As above, also recording the pipeline counter trace of the first tile
+/// (for testing the Algorithm 1 prefetch schedule).
+KernelResult SpmmShflBwTraced(const ShflBwMatrix& a, const Matrix<float>& b,
+                              const GpuSpec& spec, const TileConfig& cfg,
+                              std::vector<PipelineEvent>& trace);
+
+/// Stats-only model for a layer of shape (m, n, k) pruned to Shfl-BW with
+/// vector size v at stored density `alpha` (kept vectors spread evenly
+/// across groups) — used by the Fig. 2/6 layer sweeps.
+KernelStats SpmmShflBwStats(int m, int n, int k, double alpha, int v,
+                            const GpuSpec& spec, const TileConfig& cfg = {});
+
+/// Same, for our vector-wise kernel (identical except no row-index
+/// metadata).
+KernelStats SpmmVectorWiseStats(int m, int n, int k, double alpha, int v,
+                                const GpuSpec& spec,
+                                const TileConfig& cfg = {});
+
+}  // namespace shflbw

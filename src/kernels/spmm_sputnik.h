@@ -1,0 +1,21 @@
+// Sputnik-style unstructured SpMM (Gale et al., SC'20) — the strongest
+// CUDA-core unstructured baseline in the paper (Fig. 1 "Cuda-Core
+// Sparse", Fig. 6 "Unstructured"). Row-split 1-dimensional tiling with
+// vector loads of B and subwarp reductions; no tensor-cores.
+#pragma once
+
+#include "arch/gpu_spec.h"
+#include "format/csr.h"
+#include "kernels/kernel_api.h"
+
+namespace shflbw {
+
+/// C = A_csr * B with Sputnik's row-split schedule.
+KernelResult SpmmSputnik(const CsrMatrix& a, const Matrix<float>& b,
+                         const GpuSpec& spec);
+
+/// Stats-only model for shape (m, n, k) at non-zero count nnz.
+KernelStats SpmmSputnikStats(int m, int n, int k, double nnz,
+                             const GpuSpec& spec);
+
+}  // namespace shflbw

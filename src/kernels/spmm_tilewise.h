@@ -1,0 +1,26 @@
+// Tilewise baseline (Guo et al., SC'20): tile-wise sparsity executed as
+// per-tile dense GEMMs on CUDA multi-streams (V=128 granularity). The
+// paper observes that "due to the overhead when the number of streams
+// grows, their multi-stream approach cannot exceed the dense baseline
+// under real weight shapes" — modelled here as one kernel launch per row
+// group spread over a fixed stream pool.
+#pragma once
+
+#include "arch/gpu_spec.h"
+#include "format/vector_wise.h"
+#include "kernels/spmm_vector_wise.h"
+
+namespace shflbw {
+
+inline constexpr int kTilewiseV = 128;
+inline constexpr int kTilewiseStreams = 8;
+
+/// C = A_vw * B with the Tilewise schedule. a.v must be 128.
+KernelResult SpmmTilewise(const VectorWiseMatrix& a, const Matrix<float>& b,
+                          const GpuSpec& spec);
+
+/// Stats-only model at stored density alpha (V fixed to 128).
+KernelStats SpmmTilewiseStats(int m, int n, int k, double alpha,
+                              const GpuSpec& spec);
+
+}  // namespace shflbw

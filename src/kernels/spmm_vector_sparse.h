@@ -1,0 +1,24 @@
+// VectorSparse baseline (Chen et al., SC'21): tensor-core vector-wise
+// SpMM tuned for fine-grained vectors (V <= 8). The paper finds it "less
+// performant than ours because their small vector size (V=8) limits data
+// reuse" — which falls straight out of the VW-family traffic model: L2
+// traffic for the dense operand scales with 1/V.
+#pragma once
+
+#include "arch/gpu_spec.h"
+#include "format/vector_wise.h"
+#include "kernels/spmm_vector_wise.h"
+
+namespace shflbw {
+
+inline constexpr int kVectorSparseV = 8;
+
+/// C = A_vw * B with the VectorSparse schedule. a.v must be <= 8.
+KernelResult SpmmVectorSparse(const VectorWiseMatrix& a,
+                              const Matrix<float>& b, const GpuSpec& spec);
+
+/// Stats-only model at stored density alpha (V fixed to 8).
+KernelStats SpmmVectorSparseStats(int m, int n, int k, double alpha,
+                                  const GpuSpec& spec);
+
+}  // namespace shflbw

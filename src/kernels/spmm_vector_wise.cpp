@@ -1,0 +1,223 @@
+#include "kernels/spmm_vector_wise.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/fp16.h"
+
+namespace shflbw {
+
+KernelStats VwFamilyStats(int m, int n, int k,
+                          const std::vector<int>& kept_per_group, int v,
+                          const GpuSpec& spec, const TileConfig& cfg,
+                          KernelClass klass, double extra_metadata_bytes) {
+  KernelStats s;
+  s.kernel_name = KernelClassName(klass);
+  s.kernel_class = klass;
+  s.tensor_core = true;
+  s.block_size = v;
+
+  const int tn = std::min(cfg.tn, std::max(kMmaN, n));
+  const double n_pad = std::ceil(static_cast<double>(n) / tn) * tn;
+  const double col_tiles = n_pad / tn;
+  const double kept_total =
+      std::accumulate(kept_per_group.begin(), kept_per_group.end(), 0.0);
+
+  s.useful_flops = 2.0 * kept_total * v * n;
+  // The main loop advances tk kept-columns per step; the final partial
+  // step pads with zero vectors, issuing wasted MACs.
+  double padded_cols = 0;
+  int max_steps = 0;
+  for (int kept : kept_per_group) {
+    const int steps =
+        static_cast<int>(std::ceil(static_cast<double>(kept) / cfg.tk));
+    padded_cols += static_cast<double>(steps) * cfg.tk;
+    max_steps = std::max(max_steps, steps);
+  }
+  const double v_pad = std::ceil(static_cast<double>(v) / kMmaM) * kMmaM;
+  s.issued_macs = padded_cols * v_pad * n_pad;
+
+  // Sparse operand: values stream once per column tile (vector-contiguous
+  // after the offline reorder, §4.2); metadata is one int32 column index
+  // per kept vector plus group pointers (bulk-prefetched, Alg. 1).
+  s.metadata_bytes =
+      4.0 * (kept_total + kept_per_group.size() + 1) + extra_metadata_bytes;
+  const double a_bytes = kept_total * v * kHalfBytes + s.metadata_bytes;
+
+  // Dense operand: in-buffer stitching gathers exactly the kept rows of
+  // the B tile — kept_g rows x tn columns per (group, column-tile). This
+  // is the §3.2.2 full-reuse traffic (divided by v versus unstructured).
+  s.l2_read_bytes = kept_total * tn * kHalfBytes * col_tiles +
+                    a_bytes * col_tiles;
+  // DRAM side: the kernel iterates column tiles in the outer loop, so a
+  // K x tn slice of B stays L2-resident while every row group consumes
+  // it — B streams from DRAM once as long as one slice fits.
+  const double b_unique = static_cast<double>(k) * n * kHalfBytes;
+  const double b_slice = static_cast<double>(k) * tn * kHalfBytes;
+  s.dram_read_bytes =
+      a_bytes + b_unique * ReloadFactor(b_slice, spec.l2_capacity,
+                                        static_cast<double>(
+                                            kept_per_group.size()));
+  s.dram_write_bytes = static_cast<double>(m) * n * kHalfBytes;
+
+  s.threadblocks = static_cast<int>(kept_per_group.size() * col_tiles);
+  s.main_loop_iters = std::max(1, max_steps);
+  s.pipeline_stages = cfg.pipeline_stages;
+  return s;
+}
+
+Matrix<float> RunVwFamilyKernel(const VectorWiseMatrix& a,
+                                const std::vector<int>& row_map,
+                                const Matrix<float>& b, const TileConfig& cfg,
+                                std::vector<PipelineEvent>* pipeline_trace) {
+  SHFLBW_CHECK_MSG(a.cols == b.rows(), "SpMM shape mismatch");
+  SHFLBW_CHECK_MSG(static_cast<int>(row_map.size()) == a.rows,
+                   "row_map size " << row_map.size() << " != rows " << a.rows);
+  SHFLBW_CHECK_MSG(cfg.tk > 0 && cfg.pipeline_stages > 0 &&
+                       cfg.meta_prefetch_stage > 0,
+                   "bad tile config");
+  const int n = b.cols();
+  const int v = a.v;
+  const int tn = std::min(cfg.tn, std::max(1, n));
+  Matrix<float> c(a.rows, n);
+
+  // Software-pipeline buffers (Fig. 4(d)): each stage holds one stitched
+  // A tile (v x tk fp16) and one stitched B tile (tk x tn fp16).
+  struct StageBuffer {
+    std::vector<Fp16> a_tile;  // v * tk, vector-major
+    std::vector<Fp16> b_tile;  // tk * tn
+    int valid_k = 0;           // kept vectors in this step (<= tk)
+  };
+  std::vector<StageBuffer> buffers(cfg.pipeline_stages);
+  for (auto& buf : buffers) {
+    buf.a_tile.assign(static_cast<std::size_t>(v) * cfg.tk, Fp16());
+    buf.b_tile.assign(static_cast<std::size_t>(cfg.tk) * tn, Fp16());
+  }
+
+  bool first_tile = true;
+  for (int g = 0; g < a.Groups(); ++g) {
+    const int base = a.group_col_ptr[g];
+    const int kept = a.KeptColumnsInGroup(g);
+    const int total_step =
+        static_cast<int>(std::ceil(static_cast<double>(kept) / cfg.tk));
+
+    for (int j0 = 0; j0 < n; j0 += tn) {
+      const int jw = std::min(tn, n - j0);
+      // fp32 accumulators for the v x tn output tile (register file).
+      std::vector<float> acc(static_cast<std::size_t>(v) * tn, 0.0f);
+
+      // Metadata queue: BulkLoadMeta fetches meta_prefetch_stage steps'
+      // worth of column indices ahead of the stitch that consumes them
+      // (Alg. 1 lines 6-8). meta_loaded_until tracks the frontier.
+      int meta_loaded_until = 0;
+
+      // Pipelined main loop (Alg. 1 lines 1-16): the three counters run
+      // skewed so that metadata is MetaPrefetchStage steps ahead of the
+      // stitch, and the stitch is pipeline_stages ahead of the MMA.
+      int metaload_step = 0;
+      int load_step = metaload_step - cfg.meta_prefetch_stage;
+      int step = load_step - cfg.pipeline_stages;
+      while (step < total_step) {
+        const bool record =
+            first_tile && pipeline_trace != nullptr && step < total_step;
+        bool meta_ready = true;
+
+        if (metaload_step % cfg.meta_prefetch_stage == 0 &&
+            metaload_step < total_step + cfg.meta_prefetch_stage +
+                                cfg.pipeline_stages) {
+          // BulkLoadMeta: aggregate column indices of the next
+          // meta_prefetch_stage steps (bandwidth-efficient bulk load).
+          meta_loaded_until =
+              std::min(total_step,
+                       std::max(meta_loaded_until,
+                                metaload_step + cfg.meta_prefetch_stage));
+        }
+
+        if (step >= 0 && step < total_step) {
+          // WarpMMA (Fig. 4(c)): dense v x tn x tk tile product, fp32
+          // accumulation, ascending-k order within the buffer. On real
+          // hardware this overlaps the stitch of a later step; in this
+          // serial simulation it must retire BEFORE the stitch below
+          // reuses the same ring slot (load_step - step == ring size).
+          const StageBuffer& buf = buffers[step % cfg.pipeline_stages];
+          for (int kk = 0; kk < buf.valid_k; ++kk) {
+            const Fp16* arow = &buf.a_tile[static_cast<std::size_t>(kk) * v];
+            const Fp16* brow = &buf.b_tile[static_cast<std::size_t>(kk) * tn];
+            for (int r = 0; r < v; ++r) {
+              const float av = arow[r].ToFloat();
+              if (av == 0.0f) continue;  // padded lane
+              float* crow = &acc[static_cast<std::size_t>(r) * tn];
+              for (int j = 0; j < jw; ++j) {
+                crow[j] += av * brow[j].ToFloat();
+              }
+            }
+          }
+        }
+
+        if (load_step >= 0 && load_step < total_step) {
+          // StitchTile (Fig. 4(b)): requires the metadata of this step.
+          meta_ready = load_step < meta_loaded_until;
+          SHFLBW_CHECK_MSG(meta_ready,
+                           "pipeline hazard: stitching step "
+                               << load_step << " before its metadata loaded");
+          StageBuffer& buf = buffers[load_step % cfg.pipeline_stages];
+          const int k0 = load_step * cfg.tk;
+          buf.valid_k = std::min(cfg.tk, kept - k0);
+          for (int kk = 0; kk < cfg.tk; ++kk) {
+            const bool in_range = kk < buf.valid_k;
+            const int vec = base + k0 + kk;
+            // A tile: vector-contiguous fp16 load (zero-padded tail).
+            for (int r = 0; r < v; ++r) {
+              buf.a_tile[static_cast<std::size_t>(kk) * v + r] =
+                  in_range ? Fp16(a.ValueAt(vec, r)) : Fp16();
+            }
+            // B tile: gather row col_idx[vec] — the in-buffer stitching
+            // that turns the vector-wise matrix into a dense tile.
+            for (int j = 0; j < tn; ++j) {
+              const bool col_ok = in_range && j < jw;
+              buf.b_tile[static_cast<std::size_t>(kk) * tn + j] =
+                  col_ok ? Fp16(b(a.col_idx[vec], j0 + j)) : Fp16();
+            }
+          }
+        }
+
+        if (record) {
+          pipeline_trace->push_back(
+              {metaload_step, load_step, step, meta_ready});
+        }
+        ++step;
+        ++load_step;
+        ++metaload_step;
+      }
+
+      // Write-back (Fig. 4(e)): row r of the tile goes to C row
+      // row_map[g*v + r] — identity for VW, storage_to_original for
+      // Shfl-BW (the reordered write-back, §4.2).
+      for (int r = 0; r < v; ++r) {
+        const int out_row = row_map[static_cast<std::size_t>(g) * v + r];
+        for (int j = 0; j < jw; ++j) {
+          c(out_row, j0 + j) =
+              Fp16(acc[static_cast<std::size_t>(r) * tn + j]).ToFloat();
+        }
+      }
+      first_tile = false;
+    }
+  }
+  return c;
+}
+
+KernelResult SpmmVectorWise(const VectorWiseMatrix& a, const Matrix<float>& b,
+                            const GpuSpec& spec, const TileConfig& cfg) {
+  std::vector<int> identity(static_cast<std::size_t>(a.rows));
+  std::iota(identity.begin(), identity.end(), 0);
+  KernelResult r;
+  r.c = RunVwFamilyKernel(a, identity, b, cfg, nullptr);
+  std::vector<int> kept(static_cast<std::size_t>(a.Groups()));
+  for (int g = 0; g < a.Groups(); ++g) kept[g] = a.KeptColumnsInGroup(g);
+  r.stats = VwFamilyStats(a.rows, b.cols(), a.cols, kept, a.v, spec, cfg,
+                          KernelClass::kVectorWiseTensorCore,
+                          /*extra_metadata_bytes=*/0.0);
+  return r;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,34 @@
+#include "model/gnmt.h"
+
+namespace shflbw {
+
+std::vector<GemmLayerSpec> GnmtLayers(const GnmtConfig& cfg) {
+  const int h = cfg.hidden;
+  const int n = cfg.batch_tokens;
+  std::vector<GemmLayerSpec> layers = {
+      // First encoder layer is bidirectional: input h, hidden h per dir.
+      {"enc.l0.gates", 4 * h, n, 2 * h},
+      // Stacked LSTM layers: gates see [x_t ; h_{t-1}] of width 2h.
+      {"enc.lstm.gates", 4 * h, n, 2 * h},
+      {"dec.lstm.gates", 4 * h, n, 2 * h},
+      // Attention: score + context projections.
+      {"attn.proj", h, n, 2 * h},
+  };
+  if (cfg.vocab_projection > 0) {
+    layers.push_back({"dec.vocab_proj", cfg.vocab_projection, n, h});
+  }
+  return layers;
+}
+
+std::vector<int> GnmtLayerCounts(const GnmtConfig& cfg) {
+  std::vector<int> counts = {
+      1,
+      cfg.encoder_layers - 1,
+      cfg.decoder_layers,
+      1,
+  };
+  if (cfg.vocab_projection > 0) counts.push_back(1);
+  return counts;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,25 @@
+// GNMT (Wu et al. [5]): 8-layer encoder + 8-layer decoder LSTM seq2seq
+// with 1024 hidden units. The compute-intensive layers are the LSTM gate
+// GEMMs (4*hidden outputs against concatenated input+hidden) and the
+// attention/projection layers.
+#pragma once
+
+#include "model/layer_spec.h"
+
+namespace shflbw {
+
+struct GnmtConfig {
+  int hidden = 1024;
+  int batch_tokens = 512;
+  int encoder_layers = 8;
+  int decoder_layers = 8;
+  int vocab_projection = 0;  // 0 = exclude the softmax projection
+};
+
+/// Distinct GEMM shapes of the GNMT stack.
+std::vector<GemmLayerSpec> GnmtLayers(const GnmtConfig& cfg = {});
+
+/// Occurrence counts aligned with GnmtLayers().
+std::vector<int> GnmtLayerCounts(const GnmtConfig& cfg = {});
+
+}  // namespace shflbw

@@ -1,0 +1,43 @@
+// Layer-shape descriptions for the three evaluation workloads (§6.1:
+// Transformer and GNMT on WMT, ResNet50 on ImageNet). "When reporting
+// model kernel speedup, we use the shapes in real model."
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shflbw {
+
+/// A weight-times-activation GEMM layer: C[m x n] = W[m x k] * X[k x n],
+/// n = batch tokens (batch innermost, §4.3).
+struct GemmLayerSpec {
+  std::string name;
+  int m = 0;
+  int n = 0;
+  int k = 0;
+
+  double Flops() const { return 2.0 * m * n * k; }
+};
+
+/// A 2D convolution layer (NCHW), lowered to implicit GEMM.
+struct ConvLayerSpec {
+  std::string name;
+  int batch = 1;
+  int in_c = 0, in_h = 0, in_w = 0;
+  int out_c = 0;
+  int kh = 1, kw = 1;
+  int stride = 1;
+  int pad = 0;
+  int repeat = 1;  // how many times this shape occurs in the network
+
+  int OutH() const { return (in_h + 2 * pad - kh) / stride + 1; }
+  int OutW() const { return (in_w + 2 * pad - kw) / stride + 1; }
+  int GemmM() const { return out_c; }
+  int GemmK() const { return in_c * kh * kw; }
+  int GemmN() const { return batch * OutH() * OutW(); }
+  double Flops() const {
+    return 2.0 * GemmM() * GemmK() * static_cast<double>(GemmN()) * repeat;
+  }
+};
+
+}  // namespace shflbw

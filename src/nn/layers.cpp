@@ -1,0 +1,83 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <random>
+
+#include "common/check.h"
+#include "nn/tensor.h"
+
+namespace shflbw {
+namespace nn {
+
+Linear::Linear(int out_features, int in_features, std::uint64_t seed)
+    : w_(out_features, in_features),
+      b_(static_cast<std::size_t>(out_features), 0.0f),
+      grad_w_(out_features, in_features),
+      grad_b_(static_cast<std::size_t>(out_features), 0.0f) {
+  // Kaiming-uniform init.
+  std::mt19937_64 gen(seed);
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features));
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (auto& v : w_.storage()) v = dist(gen);
+}
+
+Matrix<float> Linear::Forward(const Matrix<float>& x) {
+  SHFLBW_CHECK_MSG(x.rows() == w_.cols(), "Linear: input features "
+                                              << x.rows() << " != "
+                                              << w_.cols());
+  cached_x_ = x;
+  Matrix<float> y = MatMul(w_, x);
+  AddBias(y, b_);
+  return y;
+}
+
+Matrix<float> Linear::Backward(const Matrix<float>& dy) {
+  // dW = dY X^T ; db = rowsum(dY) ; dX = W^T dY.
+  Matrix<float> gw = MatMulTransB(dy, cached_x_);
+  if (mask_) {
+    for (std::size_t i = 0; i < gw.size(); ++i) {
+      gw.storage()[i] *= mask_->storage()[i];
+    }
+  }
+  for (std::size_t i = 0; i < gw.size(); ++i) {
+    grad_w_.storage()[i] += gw.storage()[i];
+  }
+  const std::vector<float> gb = RowSums(dy);
+  for (std::size_t i = 0; i < gb.size(); ++i) grad_b_[i] += gb[i];
+  return MatMulTransA(w_, dy);
+}
+
+void Linear::SetMask(Matrix<float> mask) {
+  SHFLBW_CHECK_MSG(mask.rows() == w_.rows() && mask.cols() == w_.cols(),
+                   "mask shape mismatch");
+  mask_ = std::move(mask);
+  EnforceMask();
+}
+
+void Linear::EnforceMask() {
+  if (!mask_) return;
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    w_.storage()[i] *= mask_->storage()[i];
+  }
+}
+
+Matrix<float> ReLU::Forward(const Matrix<float>& x) {
+  cached_x_ = x;
+  Matrix<float> y(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y.storage()[i] = x.storage()[i] > 0.0f ? x.storage()[i] : 0.0f;
+  }
+  return y;
+}
+
+Matrix<float> ReLU::Backward(const Matrix<float>& dy) const {
+  SHFLBW_CHECK(dy.rows() == cached_x_.rows() && dy.cols() == cached_x_.cols());
+  Matrix<float> dx(dy.rows(), dy.cols());
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    dx.storage()[i] = cached_x_.storage()[i] > 0.0f ? dy.storage()[i] : 0.0f;
+  }
+  return dx;
+}
+
+}  // namespace nn
+}  // namespace shflbw

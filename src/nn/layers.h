@@ -1,0 +1,62 @@
+// Layers with manual backprop for the Table 1 fine-tuning experiments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+namespace nn {
+
+/// Fully-connected layer y = W x + b with an optional frozen sparsity
+/// mask: when set, masked weights stay exactly zero through training
+/// (gradients are masked too), which is how pruned models fine-tune.
+class Linear {
+ public:
+  Linear(int out_features, int in_features, std::uint64_t seed);
+
+  /// Forward; caches x for backward.
+  Matrix<float> Forward(const Matrix<float>& x);
+
+  /// Backward from dL/dy; accumulates grad_w/grad_b, returns dL/dx.
+  Matrix<float> Backward(const Matrix<float>& dy);
+
+  /// Installs (or replaces) the sparsity mask and zeroes masked weights.
+  void SetMask(Matrix<float> mask);
+  void ClearMask() { mask_.reset(); }
+  const std::optional<Matrix<float>>& mask() const { return mask_; }
+
+  Matrix<float>& weights() { return w_; }
+  const Matrix<float>& weights() const { return w_; }
+  std::vector<float>& bias() { return b_; }
+  Matrix<float>& grad_weights() { return grad_w_; }
+  std::vector<float>& grad_bias() { return grad_b_; }
+
+  int in_features() const { return w_.cols(); }
+  int out_features() const { return w_.rows(); }
+
+  /// Re-applies the mask to the weights (after an optimizer step).
+  void EnforceMask();
+
+ private:
+  Matrix<float> w_;
+  std::vector<float> b_;
+  Matrix<float> grad_w_;
+  std::vector<float> grad_b_;
+  std::optional<Matrix<float>> mask_;
+  Matrix<float> cached_x_;
+};
+
+/// Elementwise ReLU with cached activation pattern.
+class ReLU {
+ public:
+  Matrix<float> Forward(const Matrix<float>& x);
+  Matrix<float> Backward(const Matrix<float>& dy) const;
+
+ private:
+  Matrix<float> cached_x_;
+};
+
+}  // namespace nn
+}  // namespace shflbw

@@ -1,0 +1,66 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace nn {
+
+LossResult SoftmaxCrossEntropy(const Matrix<float>& logits,
+                               const std::vector<int>& labels) {
+  const int classes = logits.rows();
+  const int batch = logits.cols();
+  SHFLBW_CHECK_MSG(static_cast<int>(labels.size()) == batch,
+                   "labels size mismatch");
+  LossResult out;
+  out.grad_logits = Matrix<float>(classes, batch);
+  double total = 0.0;
+  for (int j = 0; j < batch; ++j) {
+    SHFLBW_CHECK_MSG(labels[j] >= 0 && labels[j] < classes,
+                     "label out of range");
+    // Numerically-stable softmax per column.
+    float maxv = logits(0, j);
+    for (int i = 1; i < classes; ++i) maxv = std::max(maxv, logits(i, j));
+    double denom = 0.0;
+    for (int i = 0; i < classes; ++i) {
+      denom += std::exp(static_cast<double>(logits(i, j) - maxv));
+    }
+    for (int i = 0; i < classes; ++i) {
+      const double p =
+          std::exp(static_cast<double>(logits(i, j) - maxv)) / denom;
+      out.grad_logits(i, j) = static_cast<float>(
+          (p - (i == labels[j] ? 1.0 : 0.0)) / batch);
+      if (i == labels[j]) total -= std::log(std::max(p, 1e-12));
+    }
+  }
+  out.loss = total / batch;
+  return out;
+}
+
+std::vector<int> Predictions(const Matrix<float>& logits) {
+  std::vector<int> pred(static_cast<std::size_t>(logits.cols()));
+  for (int j = 0; j < logits.cols(); ++j) {
+    int best = 0;
+    for (int i = 1; i < logits.rows(); ++i) {
+      if (logits(i, j) > logits(best, j)) best = i;
+    }
+    pred[j] = best;
+  }
+  return pred;
+}
+
+double Accuracy(const Matrix<float>& logits, const std::vector<int>& labels) {
+  const std::vector<int> pred = Predictions(logits);
+  SHFLBW_CHECK(pred.size() == labels.size());
+  if (pred.empty()) return 0.0;
+  int correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace nn
+}  // namespace shflbw

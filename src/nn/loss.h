@@ -1,0 +1,27 @@
+// Softmax cross-entropy over column-batched logits.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+namespace nn {
+
+struct LossResult {
+  double loss = 0;            // mean over the batch
+  Matrix<float> grad_logits;  // dL/dlogits (already divided by batch)
+};
+
+/// logits: (classes x batch); labels: one class index per column.
+LossResult SoftmaxCrossEntropy(const Matrix<float>& logits,
+                               const std::vector<int>& labels);
+
+/// argmax over each column.
+std::vector<int> Predictions(const Matrix<float>& logits);
+
+/// Fraction of columns whose argmax equals the label.
+double Accuracy(const Matrix<float>& logits, const std::vector<int>& labels);
+
+}  // namespace nn
+}  // namespace shflbw

@@ -1,0 +1,51 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace nn {
+
+Mlp::Mlp(const std::vector<int>& dims, std::uint64_t seed) {
+  SHFLBW_CHECK_MSG(dims.size() >= 2, "need at least input and output dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    linears_.push_back(
+        std::make_unique<Linear>(dims[i + 1], dims[i], seed + i));
+  }
+  relus_.resize(linears_.size() - 1);
+}
+
+Matrix<float> Mlp::Forward(const Matrix<float>& x) {
+  Matrix<float> h = x;
+  for (std::size_t i = 0; i < linears_.size(); ++i) {
+    h = linears_[i]->Forward(h);
+    if (i + 1 < linears_.size()) h = relus_[i].Forward(h);
+  }
+  return h;
+}
+
+void Mlp::Backward(const Matrix<float>& dlogits) {
+  Matrix<float> d = dlogits;
+  for (std::size_t i = linears_.size(); i-- > 0;) {
+    d = linears_[i]->Backward(d);
+    if (i > 0) d = relus_[i - 1].Backward(d);
+  }
+}
+
+std::vector<Linear*> Mlp::Layers() {
+  std::vector<Linear*> out;
+  for (auto& l : linears_) out.push_back(l.get());
+  return out;
+}
+
+std::vector<Linear*> Mlp::PrunableLayers() {
+  std::vector<Linear*> out;
+  for (std::size_t i = 0; i + 1 < linears_.size(); ++i) {
+    out.push_back(linears_[i].get());
+  }
+  // With a single linear layer there is nothing but the head; prune it.
+  if (out.empty() && !linears_.empty()) out.push_back(linears_[0].get());
+  return out;
+}
+
+}  // namespace nn
+}  // namespace shflbw

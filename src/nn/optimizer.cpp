@@ -1,0 +1,43 @@
+#include "nn/optimizer.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace nn {
+
+Sgd::Sgd(std::vector<Linear*> layers, const SgdOptions& opts)
+    : layers_(std::move(layers)), opts_(opts) {
+  for (Linear* l : layers_) {
+    SHFLBW_CHECK(l != nullptr);
+    vel_w_.emplace_back(l->weights().rows(), l->weights().cols());
+    vel_b_.emplace_back(l->bias().size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    Linear& l = *layers_[li];
+    Matrix<float>& w = l.weights();
+    Matrix<float>& gw = l.grad_weights();
+    Matrix<float>& vw = vel_w_[li];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float g =
+          gw.storage()[i] + opts_.weight_decay * w.storage()[i];
+      vw.storage()[i] = opts_.momentum * vw.storage()[i] + g;
+      w.storage()[i] -= opts_.lr * vw.storage()[i];
+      gw.storage()[i] = 0.0f;
+    }
+    std::vector<float>& b = l.bias();
+    std::vector<float>& gb = l.grad_bias();
+    std::vector<float>& vb = vel_b_[li];
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      vb[i] = opts_.momentum * vb[i] + gb[i];
+      b[i] -= opts_.lr * vb[i];
+      gb[i] = 0.0f;
+    }
+    l.EnforceMask();  // pruned weights stay exactly zero
+  }
+}
+
+}  // namespace nn
+}  // namespace shflbw

@@ -1,0 +1,36 @@
+// SGD with momentum and weight decay, mask-aware: after each step, a
+// layer with a frozen sparsity mask re-zeroes its pruned weights.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace shflbw {
+namespace nn {
+
+struct SgdOptions {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Linear*> layers, const SgdOptions& opts = {});
+
+  /// One update from accumulated gradients; then zeroes them.
+  void Step();
+
+  void set_lr(float lr) { opts_.lr = lr; }
+  float lr() const { return opts_.lr; }
+
+ private:
+  std::vector<Linear*> layers_;
+  SgdOptions opts_;
+  std::vector<Matrix<float>> vel_w_;
+  std::vector<std::vector<float>> vel_b_;
+};
+
+}  // namespace nn
+}  // namespace shflbw

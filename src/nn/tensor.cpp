@@ -1,0 +1,81 @@
+#include "nn/tensor.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace nn {
+
+Matrix<float> MatMul(const Matrix<float>& a, const Matrix<float>& b) {
+  SHFLBW_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix<float> c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int kk = 0; kk < a.cols(); ++kk) {
+      const float av = a(i, kk);
+      if (av == 0.0f) continue;
+      const float* brow = b.row(kk);
+      float* crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix<float> MatMulTransA(const Matrix<float>& a, const Matrix<float>& b) {
+  SHFLBW_CHECK_MSG(a.rows() == b.rows(), "matmul(T,) shape mismatch");
+  Matrix<float> c(a.cols(), b.cols());
+  for (int kk = 0; kk < a.rows(); ++kk) {
+    const float* arow = a.row(kk);
+    const float* brow = b.row(kk);
+    for (int i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix<float> MatMulTransB(const Matrix<float>& a, const Matrix<float>& b) {
+  SHFLBW_CHECK_MSG(a.cols() == b.cols(), "matmul(,T) shape mismatch");
+  Matrix<float> c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int kk = 0; kk < a.cols(); ++kk) acc += arow[kk] * brow[kk];
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix<float> Transpose(const Matrix<float>& a) {
+  Matrix<float> t(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+void AddBias(Matrix<float>& y, const std::vector<float>& bias) {
+  SHFLBW_CHECK_MSG(static_cast<int>(bias.size()) == y.rows(),
+                   "bias size mismatch");
+  for (int i = 0; i < y.rows(); ++i) {
+    float* row = y.row(i);
+    for (int j = 0; j < y.cols(); ++j) row[j] += bias[i];
+  }
+}
+
+std::vector<float> RowSums(const Matrix<float>& a) {
+  std::vector<float> sums(static_cast<std::size_t>(a.rows()), 0.0f);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.row(i);
+    for (int j = 0; j < a.cols(); ++j) sums[i] += row[j];
+  }
+  return sums;
+}
+
+}  // namespace nn
+}  // namespace shflbw

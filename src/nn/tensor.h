@@ -1,0 +1,35 @@
+// Dense fp32 linear-algebra helpers for the training substrate. Training
+// runs in fp32 (as the paper's fine-tuning does); only inference kernels
+// use fp16.
+//
+// Convention: activations are (features x batch) — batch is the
+// innermost (column) dimension, matching the row-major layout assumption
+// of §4.3.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+namespace nn {
+
+/// C = A * B (fp32, no fp16 rounding).
+Matrix<float> MatMul(const Matrix<float>& a, const Matrix<float>& b);
+
+/// C = A^T * B.
+Matrix<float> MatMulTransA(const Matrix<float>& a, const Matrix<float>& b);
+
+/// C = A * B^T.
+Matrix<float> MatMulTransB(const Matrix<float>& a, const Matrix<float>& b);
+
+Matrix<float> Transpose(const Matrix<float>& a);
+
+/// y += bias per row (bias has one entry per feature row).
+void AddBias(Matrix<float>& y, const std::vector<float>& bias);
+
+/// Row-wise sum (gradient of AddBias).
+std::vector<float> RowSums(const Matrix<float>& a);
+
+}  // namespace nn
+}  // namespace shflbw

@@ -1,0 +1,41 @@
+#include "prune/admm.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+
+Matrix<float> AdmmProjectStep(const Matrix<float>& weights, Matrix<float>& u,
+                              const PatternProjector& project) {
+  SHFLBW_CHECK(weights.rows() == u.rows() && weights.cols() == u.cols());
+  Matrix<float> shifted(weights.rows(), weights.cols());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    shifted.storage()[i] = weights.storage()[i] + u.storage()[i];
+  }
+  Matrix<float> z = project(shifted);
+  SHFLBW_CHECK_MSG(z.rows() == weights.rows() && z.cols() == weights.cols(),
+                   "projector changed shape");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u.storage()[i] += weights.storage()[i] - z.storage()[i];
+  }
+  return z;
+}
+
+Matrix<float> AdmmRegularize(Matrix<float> weights,
+                             const PatternProjector& project,
+                             const AdmmOptions& opts) {
+  SHFLBW_CHECK_MSG(opts.rho > 0.0, "rho=" << opts.rho);
+  Matrix<float> u(weights.rows(), weights.cols());
+  for (int it = 0; it < opts.iterations; ++it) {
+    const Matrix<float> z = AdmmProjectStep(weights, u, project);
+    // Proximal pull of W toward Z (stand-in for the SGD steps that the
+    // full method interleaves; see DESIGN.md §0 substitutions).
+    const float blend = static_cast<float>(opts.rho);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights.storage()[i] =
+          (weights.storage()[i] + blend * z.storage()[i]) / (1.0f + blend);
+    }
+  }
+  return project(weights);
+}
+
+}  // namespace shflbw

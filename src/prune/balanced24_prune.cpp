@@ -1,0 +1,35 @@
+#include "prune/balanced24_prune.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "format/convert.h"
+#include "prune/importance.h"
+
+namespace shflbw {
+
+Matrix<float> Balanced24Mask(const Matrix<float>& scores) {
+  SHFLBW_CHECK_MSG(scores.cols() % 4 == 0,
+                   "cols=" << scores.cols() << " not a multiple of 4");
+  Matrix<float> mask(scores.rows(), scores.cols());
+  for (int r = 0; r < scores.rows(); ++r) {
+    for (int q = 0; q < scores.cols() / 4; ++q) {
+      // Pick the 2 largest of the 4 (ties -> earlier position).
+      std::array<int, 4> idx{0, 1, 2, 3};
+      std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+        const float sa = scores(r, q * 4 + a);
+        const float sb = scores(r, q * 4 + b);
+        return sa != sb ? sa > sb : a < b;
+      });
+      mask(r, q * 4 + idx[0]) = 1.0f;
+      mask(r, q * 4 + idx[1]) = 1.0f;
+    }
+  }
+  return mask;
+}
+
+Matrix<float> PruneBalanced24(const Matrix<float>& weights) {
+  return ApplyMask(weights, Balanced24Mask(MagnitudeScores(weights)));
+}
+
+}  // namespace shflbw

@@ -1,0 +1,16 @@
+// 2:4 balanced pruning: keep the 2 highest-scoring entries of every
+// aligned 1x4 quad — the pattern the A100 sparse tensor-core requires.
+#pragma once
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// Mask keeping the top 2 entries per aligned quad. cols must be a
+/// multiple of 4. Resulting density is exactly 0.5.
+Matrix<float> Balanced24Mask(const Matrix<float>& scores);
+
+/// weights .* Balanced24Mask(|weights|).
+Matrix<float> PruneBalanced24(const Matrix<float>& weights);
+
+}  // namespace shflbw

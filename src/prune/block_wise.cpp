@@ -1,0 +1,63 @@
+#include "prune/block_wise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "format/convert.h"
+#include "prune/importance.h"
+
+namespace shflbw {
+
+Matrix<float> BlockWiseMask(const Matrix<float>& scores, double density,
+                            int v) {
+  SHFLBW_CHECK_MSG(v > 0, "v=" << v);
+  SHFLBW_CHECK_MSG(scores.rows() % v == 0 && scores.cols() % v == 0,
+                   "shape " << scores.rows() << "x" << scores.cols()
+                            << " not divisible by V=" << v);
+  SHFLBW_CHECK_MSG(density >= 0.0 && density <= 1.0, "density " << density);
+  const int brows = scores.rows() / v;
+  const int bcols = scores.cols() / v;
+  const std::size_t blocks = static_cast<std::size_t>(brows) * bcols;
+  std::vector<double> block_score(blocks, 0.0);
+  for (int r = 0; r < scores.rows(); ++r) {
+    for (int c = 0; c < scores.cols(); ++c) {
+      block_score[static_cast<std::size_t>(r / v) * bcols + c / v] +=
+          scores(r, c);
+    }
+  }
+  const std::size_t keep = static_cast<std::size_t>(
+      std::llround(density * static_cast<double>(blocks)));
+  std::vector<std::size_t> order(blocks);
+  std::iota(order.begin(), order.end(), 0);
+  if (keep < blocks) {
+    std::nth_element(order.begin(), order.begin() + keep, order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return block_score[a] != block_score[b]
+                                  ? block_score[a] > block_score[b]
+                                  : a < b;
+                     });
+  }
+  Matrix<float> mask(scores.rows(), scores.cols());
+  const std::size_t kept = std::min(keep, blocks);
+  for (std::size_t i = 0; i < kept; ++i) {
+    const int br = static_cast<int>(order[i]) / bcols;
+    const int bc = static_cast<int>(order[i]) % bcols;
+    for (int r = 0; r < v; ++r) {
+      for (int c = 0; c < v; ++c) {
+        mask(br * v + r, bc * v + c) = 1.0f;
+      }
+    }
+  }
+  return mask;
+}
+
+Matrix<float> PruneBlockWise(const Matrix<float>& weights, double density,
+                             int v) {
+  return ApplyMask(weights,
+                   BlockWiseMask(MagnitudeScores(weights), density, v));
+}
+
+}  // namespace shflbw

@@ -1,0 +1,19 @@
+// Block-wise pruning: keep or prune entire V x V aligned blocks by their
+// total importance (the greedy method the paper notes suffices for the
+// block-wise pattern, §5).
+#pragma once
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// Mask keeping the top round(density * num_blocks) blocks of size V x V.
+/// Shape must be divisible by V in both dimensions.
+Matrix<float> BlockWiseMask(const Matrix<float>& scores, double density,
+                            int v);
+
+/// weights .* BlockWiseMask(|weights|, density, v).
+Matrix<float> PruneBlockWise(const Matrix<float>& weights, double density,
+                             int v);
+
+}  // namespace shflbw

@@ -1,0 +1,64 @@
+#include "prune/grow_and_prune.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace shflbw {
+
+std::vector<double> GrowAndPruneDensities(double initial_density,
+                                          double final_density, int rounds) {
+  SHFLBW_CHECK_MSG(rounds > 0, "rounds=" << rounds);
+  SHFLBW_CHECK_MSG(initial_density >= final_density,
+                   "initial " << initial_density << " < final "
+                              << final_density);
+  std::vector<double> densities(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    // Cubic sparsity schedule (Zhu & Gupta style): sparsity ramps as
+    // 1 - (1 - t)^3, so density drops quickly first and settles slowly.
+    const double t = static_cast<double>(r + 1) / rounds;
+    const double ramp = 1.0 - std::pow(1.0 - t, 3.0);
+    densities[r] =
+        initial_density - (initial_density - final_density) * ramp;
+  }
+  densities.back() = final_density;  // exact landing
+  return densities;
+}
+
+Matrix<float> GrowAndPruneRound(const Matrix<float>& scores,
+                                const Matrix<float>& current_mask,
+                                double density, double grow_ratio,
+                                const PatternMasker& masker) {
+  SHFLBW_CHECK(scores.rows() == current_mask.rows() &&
+               scores.cols() == current_mask.cols());
+  SHFLBW_CHECK_MSG(grow_ratio >= 0.0, "grow_ratio " << grow_ratio);
+  // Grow phase: weights currently masked out compete again, but with a
+  // handicap — their scores are those of freshly-regrown (small) weights.
+  // Modelled by letting every weight compete while boosting currently-
+  // kept ones, bounded so a strong pruned weight can still win. The
+  // candidate pool is thus density*(1+grow_ratio) wide in effect.
+  Matrix<float> boosted(scores.rows(), scores.cols());
+  const float keep_boost = static_cast<float>(1.0 + grow_ratio);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool kept = current_mask.storage()[i] != 0.0f;
+    boosted.storage()[i] = scores.storage()[i] * (kept ? keep_boost : 1.0f);
+  }
+  // Prune phase: re-mask at the round's target density under the pattern
+  // constraint.
+  return masker(boosted, density);
+}
+
+Matrix<float> GrowAndPruneSchedule(const Matrix<float>& scores,
+                                   double final_density,
+                                   const PatternMasker& masker,
+                                   const GrowAndPruneOptions& opts) {
+  const std::vector<double> densities =
+      GrowAndPruneDensities(1.0, final_density, opts.rounds);
+  Matrix<float> mask(scores.rows(), scores.cols(), 1.0f);  // start dense
+  for (double density : densities) {
+    mask = GrowAndPruneRound(scores, mask, density, opts.grow_ratio, masker);
+  }
+  return mask;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,47 @@
+// Grow-and-Prune schedule (Ma et al. 2021 [22]) — the workflow the paper
+// uses for Transformer and ResNet50: multiple rounds in which the mask is
+// relaxed (grow) and re-tightened (prune) so mistakenly-pruned weights
+// can recover. Here the schedule is expressed over sparsity targets; the
+// nn::Trainer consumes it during fine-tuning, and the offline variant
+// refines a mask against (re-scored) weights.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+struct GrowAndPruneOptions {
+  int rounds = 4;
+  /// Fraction of kept weights additionally re-grown at each round start.
+  double grow_ratio = 0.3;
+};
+
+/// Pattern-constrained masker: maps (scores, density) to a binary mask.
+using PatternMasker =
+    std::function<Matrix<float>(const Matrix<float>&, double)>;
+
+/// Per-round target densities interpolating from `initial` down to
+/// `final` with a cubic schedule (fast early pruning, gentle tail).
+std::vector<double> GrowAndPruneDensities(double initial_density,
+                                          double final_density, int rounds);
+
+/// One grow-and-prune round: grows the candidate set by grow_ratio above
+/// `density`, then re-masks with the pattern masker at `density`, always
+/// scoring with the *current* scores (so recovered weights can displace
+/// stale ones).
+Matrix<float> GrowAndPruneRound(const Matrix<float>& scores,
+                                const Matrix<float>& current_mask,
+                                double density, double grow_ratio,
+                                const PatternMasker& masker);
+
+/// Full offline schedule: rounds of GrowAndPruneRound from dense to the
+/// final density.
+Matrix<float> GrowAndPruneSchedule(const Matrix<float>& scores,
+                                   double final_density,
+                                   const PatternMasker& masker,
+                                   const GrowAndPruneOptions& opts = {});
+
+}  // namespace shflbw

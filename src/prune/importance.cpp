@@ -1,0 +1,41 @@
+#include "prune/importance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace shflbw {
+
+Matrix<float> MagnitudeScores(const Matrix<float>& weights) {
+  Matrix<float> s(weights.rows(), weights.cols());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    s.storage()[i] = std::fabs(weights.storage()[i]);
+  }
+  return s;
+}
+
+Matrix<float> SquaredScores(const Matrix<float>& weights) {
+  Matrix<float> s(weights.rows(), weights.cols());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    s.storage()[i] = weights.storage()[i] * weights.storage()[i];
+  }
+  return s;
+}
+
+double RetainedScore(const Matrix<float>& scores, const Matrix<float>& mask) {
+  SHFLBW_CHECK(scores.rows() == mask.rows() && scores.cols() == mask.cols());
+  double total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (mask.storage()[i] != 0.0f) total += scores.storage()[i];
+  }
+  return total;
+}
+
+double RetainedScoreRatio(const Matrix<float>& scores,
+                          const Matrix<float>& mask) {
+  double all = 0.0;
+  for (float s : scores.storage()) all += s;
+  return all > 0.0 ? RetainedScore(scores, mask) / all : 0.0;
+}
+
+}  // namespace shflbw

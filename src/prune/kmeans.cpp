@@ -1,0 +1,166 @@
+#include "prune/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <random>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+double SquaredDistance(const float* row, const double* centroid, int k) {
+  double d = 0.0;
+  for (int c = 0; c < k; ++c) {
+    const double diff = static_cast<double>(row[c]) - centroid[c];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+namespace {
+
+/// k-means++ style seeding: first seed random, each further seed is the
+/// row farthest (in min-distance) from the chosen set. Deterministic
+/// given the generator state. Spread-out seeds matter here: two seeds
+/// landing in the same row-pattern cluster force the balanced assignment
+/// to split that cluster, which plain random sampling does frequently.
+std::vector<int> PlusPlusSeeds(const Matrix<float>& mask, int clusters,
+                               std::mt19937_64& gen) {
+  const int m = mask.rows();
+  const int k = mask.cols();
+  std::vector<int> seeds;
+  std::uniform_int_distribution<int> first(0, m - 1);
+  seeds.push_back(first(gen));
+  std::vector<double> min_dist(static_cast<std::size_t>(m),
+                               std::numeric_limits<double>::infinity());
+  while (static_cast<int>(seeds.size()) < clusters) {
+    const float* last = mask.row(seeds.back());
+    for (int r = 0; r < m; ++r) {
+      double d = 0.0;
+      const float* row = mask.row(r);
+      for (int c = 0; c < k; ++c) {
+        const double diff = static_cast<double>(row[c]) - last[c];
+        d += diff * diff;
+      }
+      min_dist[r] = std::min(min_dist[r], d);
+    }
+    int best = 0;
+    for (int r = 1; r < m; ++r) {
+      if (min_dist[r] > min_dist[best]) best = r;
+    }
+    seeds.push_back(best);
+    min_dist[best] = -1.0;  // never re-picked
+  }
+  return seeds;
+}
+
+}  // namespace
+
+/// One full k-means run from a fresh seeding; returns assignment + cost.
+static double RunOnce(const Matrix<float>& mask, int v, int iterations,
+                      std::mt19937_64& gen, std::vector<int>& assignment) {
+  const int m = mask.rows();
+  const int k = mask.cols();
+  const int clusters = m / v;
+
+  const std::vector<int> seeds = PlusPlusSeeds(mask, clusters, gen);
+  std::vector<double> centroids(static_cast<std::size_t>(clusters) * k);
+  for (int cl = 0; cl < clusters; ++cl) {
+    const float* row = mask.row(seeds[cl]);
+    for (int c = 0; c < k; ++c) {
+      centroids[static_cast<std::size_t>(cl) * k + c] = row[c];
+    }
+  }
+
+  assignment.assign(static_cast<std::size_t>(m), -1);
+  double total_distance = 0.0;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Balanced assignment: all (row, cluster) distances, matched
+    // greedily in ascending order with per-cluster capacity V.
+    struct Pair {
+      double dist;
+      int row;
+      int cluster;
+    };
+    std::vector<Pair> pairs;
+    pairs.reserve(static_cast<std::size_t>(m) * clusters);
+    for (int r = 0; r < m; ++r) {
+      for (int cl = 0; cl < clusters; ++cl) {
+        pairs.push_back({SquaredDistance(
+                             mask.row(r),
+                             &centroids[static_cast<std::size_t>(cl) * k], k),
+                         r, cl});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      if (a.row != b.row) return a.row < b.row;
+      return a.cluster < b.cluster;
+    });
+    std::fill(assignment.begin(), assignment.end(), -1);
+    std::vector<int> load(static_cast<std::size_t>(clusters), 0);
+    int assigned = 0;
+    total_distance = 0.0;
+    for (const Pair& p : pairs) {
+      if (assigned == m) break;
+      if (assignment[p.row] != -1 || load[p.cluster] == v) continue;
+      assignment[p.row] = p.cluster;
+      ++load[p.cluster];
+      ++assigned;
+      total_distance += p.dist;
+    }
+    SHFLBW_CHECK(assigned == m);
+
+    // Centroid update: mean of assigned rows.
+    std::fill(centroids.begin(), centroids.end(), 0.0);
+    for (int r = 0; r < m; ++r) {
+      double* cen = &centroids[static_cast<std::size_t>(assignment[r]) * k];
+      const float* row = mask.row(r);
+      for (int c = 0; c < k; ++c) cen[c] += row[c];
+    }
+    for (std::size_t i = 0; i < centroids.size(); ++i) {
+      centroids[i] /= v;
+    }
+  }
+  return total_distance;
+}
+
+RowGrouping BalancedKMeansRows(const Matrix<float>& mask, int v,
+                               const KMeansOptions& opts) {
+  SHFLBW_CHECK_MSG(v > 0 && mask.rows() % v == 0,
+                   "rows=" << mask.rows() << " not divisible by V=" << v);
+  const int m = mask.rows();
+  const int clusters = m / v;
+
+  // Restarts guard against unlucky seedings; keep the lowest-cost run.
+  constexpr int kRestarts = 3;
+  std::mt19937_64 gen(opts.seed);
+  std::vector<int> best_assignment;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (int restart = 0; restart < kRestarts; ++restart) {
+    std::vector<int> assignment;
+    const double d = RunOnce(mask, v, opts.iterations, gen, assignment);
+    if (d < best_distance) {
+      best_distance = d;
+      best_assignment = std::move(assignment);
+    }
+  }
+
+  // Emit the permutation: cluster 0's rows first, then cluster 1's, ...
+  RowGrouping out;
+  out.total_distance = best_distance;
+  out.storage_to_original.reserve(m);
+  for (int cl = 0; cl < clusters; ++cl) {
+    for (int r = 0; r < m; ++r) {
+      if (best_assignment[r] == cl) out.storage_to_original.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,46 @@
+#include "prune/taylor_importance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace shflbw {
+
+Matrix<float> TaylorScores(const Matrix<float>& weights,
+                           const Matrix<float>& gradients) {
+  SHFLBW_CHECK_MSG(weights.rows() == gradients.rows() &&
+                       weights.cols() == gradients.cols(),
+                   "weights " << weights.rows() << "x" << weights.cols()
+                              << " vs gradients " << gradients.rows() << "x"
+                              << gradients.cols());
+  Matrix<float> s(weights.rows(), weights.cols());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    s.storage()[i] =
+        std::fabs(weights.storage()[i] * gradients.storage()[i]);
+  }
+  return s;
+}
+
+Matrix<float> BlendedScores(const Matrix<float>& weights,
+                            const Matrix<float>& gradients, double mix) {
+  SHFLBW_CHECK_MSG(mix >= 0.0 && mix <= 1.0, "mix " << mix);
+  const Matrix<float> taylor = TaylorScores(weights, gradients);
+  // Normalize each term by its mean so the blend weight is meaningful.
+  double mag_mean = 0.0, taylor_mean = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    mag_mean += std::fabs(weights.storage()[i]);
+    taylor_mean += taylor.storage()[i];
+  }
+  mag_mean = std::max(mag_mean / weights.size(), 1e-20);
+  taylor_mean = std::max(taylor_mean / weights.size(), 1e-20);
+
+  Matrix<float> s(weights.rows(), weights.cols());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double mag = std::fabs(weights.storage()[i]) / mag_mean;
+    const double tay = taylor.storage()[i] / taylor_mean;
+    s.storage()[i] = static_cast<float>((1.0 - mix) * mag + mix * tay);
+  }
+  return s;
+}
+
+}  // namespace shflbw

@@ -1,0 +1,46 @@
+#include "prune/unstructured.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "format/convert.h"
+#include "prune/importance.h"
+
+namespace shflbw {
+
+Matrix<float> UnstructuredMask(const Matrix<float>& scores, double density) {
+  SHFLBW_CHECK_MSG(density >= 0.0 && density <= 1.0,
+                   "density " << density << " outside [0,1]");
+  const std::size_t total = scores.size();
+  const std::size_t keep = static_cast<std::size_t>(
+      std::llround(density * static_cast<double>(total)));
+  Matrix<float> mask(scores.rows(), scores.cols());
+  if (keep == 0) return mask;
+  if (keep >= total) {
+    std::fill(mask.storage().begin(), mask.storage().end(), 1.0f);
+    return mask;
+  }
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  // Stable selection: higher score first, earlier position wins ties.
+  std::nth_element(order.begin(), order.begin() + keep, order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const float sa = scores.storage()[a];
+                     const float sb = scores.storage()[b];
+                     return sa != sb ? sa > sb : a < b;
+                   });
+  for (std::size_t i = 0; i < keep; ++i) {
+    mask.storage()[order[i]] = 1.0f;
+  }
+  return mask;
+}
+
+Matrix<float> PruneUnstructured(const Matrix<float>& weights, double density) {
+  return ApplyMask(weights, UnstructuredMask(MagnitudeScores(weights),
+                                             density));
+}
+
+}  // namespace shflbw

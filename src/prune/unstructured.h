@@ -1,0 +1,17 @@
+// Unstructured (magnitude) pruning — both a baseline pattern and the
+// first stage of the Shfl-BW search (Fig. 5 step (b)).
+#pragma once
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// Binary mask keeping the round(density * size) highest-scoring entries.
+/// Ties at the threshold are broken by position (earlier kept), making
+/// the result deterministic.
+Matrix<float> UnstructuredMask(const Matrix<float>& scores, double density);
+
+/// Convenience: weights .* UnstructuredMask(|weights|, density).
+Matrix<float> PruneUnstructured(const Matrix<float>& weights, double density);
+
+}  // namespace shflbw

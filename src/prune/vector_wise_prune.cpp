@@ -1,0 +1,61 @@
+#include "prune/vector_wise_prune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "format/convert.h"
+#include "prune/importance.h"
+
+namespace shflbw {
+
+Matrix<float> VectorWiseMask(const Matrix<float>& scores, double density,
+                             int v) {
+  SHFLBW_CHECK_MSG(v > 0, "v=" << v);
+  SHFLBW_CHECK_MSG(scores.rows() % v == 0,
+                   "rows=" << scores.rows() << " not divisible by V=" << v);
+  SHFLBW_CHECK_MSG(density >= 0.0 && density <= 1.0, "density " << density);
+  const int groups = scores.rows() / v;
+  const std::size_t vectors =
+      static_cast<std::size_t>(groups) * scores.cols();
+  std::vector<double> vec_score(vectors, 0.0);
+  for (int r = 0; r < scores.rows(); ++r) {
+    const int g = r / v;
+    for (int c = 0; c < scores.cols(); ++c) {
+      vec_score[static_cast<std::size_t>(g) * scores.cols() + c] +=
+          scores(r, c);
+    }
+  }
+  const std::size_t keep = static_cast<std::size_t>(
+      std::llround(density * static_cast<double>(vectors)));
+  std::vector<std::size_t> order(vectors);
+  std::iota(order.begin(), order.end(), 0);
+  if (keep < vectors) {
+    std::nth_element(order.begin(), order.begin() + keep, order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return vec_score[a] != vec_score[b]
+                                  ? vec_score[a] > vec_score[b]
+                                  : a < b;
+                     });
+  }
+  Matrix<float> mask(scores.rows(), scores.cols());
+  const std::size_t kept = std::min(keep, vectors);
+  for (std::size_t i = 0; i < kept; ++i) {
+    const int g = static_cast<int>(order[i] / scores.cols());
+    const int c = static_cast<int>(order[i] % scores.cols());
+    for (int r = 0; r < v; ++r) {
+      mask(g * v + r, c) = 1.0f;
+    }
+  }
+  return mask;
+}
+
+Matrix<float> PruneVectorWise(const Matrix<float>& weights, double density,
+                              int v) {
+  return ApplyMask(weights,
+                   VectorWiseMask(MagnitudeScores(weights), density, v));
+}
+
+}  // namespace shflbw

@@ -1,0 +1,20 @@
+// Vector-wise pruning: keep or prune V x 1 column vectors within fixed
+// groups of V consecutive rows (Fig. 3(c)); also the second stage of the
+// Shfl-BW search, applied after the row shuffle (Fig. 5 step (e)).
+#pragma once
+
+#include "common/matrix.h"
+
+namespace shflbw {
+
+/// Mask keeping the top round(density * num_vectors) vectors globally,
+/// scored by the sum of importance inside each V x 1 vector. rows must be
+/// divisible by V.
+Matrix<float> VectorWiseMask(const Matrix<float>& scores, double density,
+                             int v);
+
+/// weights .* VectorWiseMask(|weights|, density, v).
+Matrix<float> PruneVectorWise(const Matrix<float>& weights, double density,
+                              int v);
+
+}  // namespace shflbw

@@ -1,0 +1,150 @@
+#include "arch/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace shflbw {
+namespace {
+
+KernelStats SimpleStats() {
+  KernelStats s;
+  s.kernel_class = KernelClass::kDenseTensorCore;
+  s.tensor_core = true;
+  s.useful_flops = 2e9;
+  s.issued_macs = 1e9;
+  s.dram_read_bytes = 1e6;
+  s.dram_write_bytes = 1e5;
+  s.l2_read_bytes = 2e6;
+  s.main_loop_iters = 100;
+  s.pipeline_stages = 2;
+  return s;
+}
+
+TEST(CostModel, ComputeBoundWhenTrafficTiny) {
+  KernelStats s = SimpleStats();
+  s.dram_read_bytes = 10;
+  s.dram_write_bytes = 0;
+  s.l2_read_bytes = 10;
+  const TimeBreakdown t = CostModel(GetGpuSpec(GpuArch::kV100)).Estimate(s);
+  EXPECT_EQ(t.bound, Bound::kCompute);
+  EXPECT_GT(t.compute_s, t.dram_s);
+}
+
+TEST(CostModel, DramBoundWhenComputeTiny) {
+  KernelStats s = SimpleStats();
+  s.issued_macs = 10;
+  s.dram_read_bytes = 1e9;
+  const TimeBreakdown t = CostModel(GetGpuSpec(GpuArch::kV100)).Estimate(s);
+  EXPECT_EQ(t.bound, Bound::kDram);
+}
+
+TEST(CostModel, L2BoundPossible) {
+  KernelStats s = SimpleStats();
+  s.issued_macs = 10;
+  s.dram_read_bytes = 100;
+  s.dram_write_bytes = 0;
+  s.l2_read_bytes = 1e9;
+  const TimeBreakdown t = CostModel(GetGpuSpec(GpuArch::kV100)).Estimate(s);
+  EXPECT_EQ(t.bound, Bound::kL2);
+}
+
+TEST(CostModel, TotalIsRoofPlusOverheads) {
+  const TimeBreakdown t =
+      CostModel(GetGpuSpec(GpuArch::kV100)).Estimate(SimpleStats());
+  const double roof = std::max({t.compute_s, t.dram_s, t.l2_s});
+  EXPECT_DOUBLE_EQ(t.total_s, roof + t.launch_s + t.pipeline_fill_s);
+}
+
+TEST(CostModel, TensorCoreFasterThanCudaCoreOnSameWork) {
+  KernelStats tc = SimpleStats();
+  KernelStats cc = SimpleStats();
+  cc.kernel_class = KernelClass::kDenseCudaCore;
+  cc.tensor_core = false;
+  const CostModel model(GetGpuSpec(GpuArch::kV100));
+  EXPECT_LT(model.Seconds(tc), model.Seconds(cc));
+}
+
+TEST(CostModel, MultiLaunchAddsOverhead) {
+  KernelStats s = SimpleStats();
+  const CostModel model(GetGpuSpec(GpuArch::kV100));
+  const double one = model.Seconds(s);
+  s.num_kernel_launches = 32;
+  EXPECT_GT(model.Seconds(s), one);
+}
+
+TEST(CostModel, PipelineFillScalesWithStages) {
+  KernelStats s = SimpleStats();
+  const CostModel model(GetGpuSpec(GpuArch::kV100));
+  s.pipeline_stages = 0;
+  const double no_pipe = model.Estimate(s).pipeline_fill_s;
+  EXPECT_EQ(no_pipe, 0.0);
+  s.pipeline_stages = 4;
+  EXPECT_GT(model.Estimate(s).pipeline_fill_s, 0.0);
+}
+
+TEST(CostModel, BsrInstabilityMultiplierApplied) {
+  KernelStats s = SimpleStats();
+  s.kernel_class = KernelClass::kBsrTensorCore;
+  s.block_size = 64;
+  const CostModel t4(GetGpuSpec(GpuArch::kT4));
+  KernelStats base = s;
+  base.block_size = 0;  // multiplier off
+  EXPECT_GT(t4.Seconds(s), t4.Seconds(base));
+  // On V100 with small blocks cuSPARSE is *faster* than baseline.
+  KernelStats small = s;
+  small.block_size = 32;
+  const CostModel v100(GetGpuSpec(GpuArch::kV100));
+  EXPECT_LT(v100.Seconds(small), v100.Seconds(base));
+}
+
+TEST(CostModel, StatsAccumulation) {
+  KernelStats a = SimpleStats();
+  KernelStats b = SimpleStats();
+  b.useful_flops = 5;
+  b.dram_read_bytes = 7;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.useful_flops, 2e9 + 5);
+  EXPECT_DOUBLE_EQ(a.dram_read_bytes, 1e6 + 7);
+  EXPECT_EQ(a.num_kernel_launches, 2);
+}
+
+TEST(CostModel, OperationIntensity) {
+  KernelStats s;
+  s.useful_flops = 1000;
+  s.dram_read_bytes = 400;
+  s.dram_write_bytes = 100;
+  EXPECT_DOUBLE_EQ(s.OperationIntensity(), 2.0);
+}
+
+TEST(Efficiency, AllClassesHaveEntries) {
+  for (KernelClass k :
+       {KernelClass::kDenseTensorCore, KernelClass::kDenseCudaCore,
+        KernelClass::kCsrScalar, KernelClass::kSputnik,
+        KernelClass::kBsrTensorCore, KernelClass::kVectorWiseTensorCore,
+        KernelClass::kShflBwTensorCore, KernelClass::kBalanced24,
+        KernelClass::kVectorSparse, KernelClass::kTilewise}) {
+    for (GpuArch a : {GpuArch::kV100, GpuArch::kT4, GpuArch::kA100}) {
+      const Efficiency e = EfficiencyFor(k, a);
+      EXPECT_GT(e.compute, 0.0);
+      EXPECT_LE(e.compute, 1.0);
+      EXPECT_GT(e.dram, 0.0);
+      EXPECT_LE(e.dram, 1.0);
+      EXPECT_GT(e.l2, 0.0);
+      EXPECT_LE(e.l2, 1.0);
+    }
+  }
+}
+
+TEST(Efficiency, ShflBwMatchesVectorWise) {
+  // §6.2: Shfl-BW is 0.97-1.02x our vector-wise kernel — identical
+  // efficiency class; only the row-index metadata differs.
+  for (GpuArch a : {GpuArch::kV100, GpuArch::kT4, GpuArch::kA100}) {
+    const Efficiency vw = EfficiencyFor(KernelClass::kVectorWiseTensorCore, a);
+    const Efficiency sb = EfficiencyFor(KernelClass::kShflBwTensorCore, a);
+    EXPECT_DOUBLE_EQ(vw.compute, sb.compute);
+    EXPECT_DOUBLE_EQ(vw.dram, sb.dram);
+    EXPECT_DOUBLE_EQ(vw.l2, sb.l2);
+  }
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,75 @@
+// Tests for the beyond-NVIDIA extension targets (§7) and the
+// multi-stream launch model.
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.h"
+#include "common/check.h"
+#include "kernels/kernel_registry.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Extension, AcceleratorsRegistered) {
+  ASSERT_EQ(ExtensionAccelerators().size(), 2u);
+  EXPECT_EQ(GetGpuSpec(GpuArch::kCdna1).name, "CDNA1");
+  EXPECT_EQ(GetGpuSpec(GpuArch::kAmx).name, "AMX");
+  EXPECT_EQ(ParseGpuArch("MI100"), GpuArch::kCdna1);
+  EXPECT_EQ(ParseGpuArch("amx"), GpuArch::kAmx);
+}
+
+TEST(Extension, NotPartOfPaperEvaluationSet) {
+  for (const GpuSpec& spec : AllGpus()) {
+    EXPECT_NE(spec.arch, GpuArch::kCdna1);
+    EXPECT_NE(spec.arch, GpuArch::kAmx);
+  }
+}
+
+TEST(Extension, EfficiencyFallsBackToV100Column) {
+  const Efficiency v100 =
+      EfficiencyFor(KernelClass::kShflBwTensorCore, GpuArch::kV100);
+  const Efficiency cdna =
+      EfficiencyFor(KernelClass::kShflBwTensorCore, GpuArch::kCdna1);
+  EXPECT_DOUBLE_EQ(v100.compute, cdna.compute);
+  EXPECT_DOUBLE_EQ(v100.dram, cdna.dram);
+}
+
+TEST(Extension, ShflBwProjectsSpeedupOnBothTargets) {
+  LayerProblem p{4096, 512, 1024, 0.25, 64};
+  for (const GpuSpec& spec : ExtensionAccelerators()) {
+    const auto s =
+        SpeedupOverDense(KernelClass::kShflBwTensorCore, p, spec);
+    ASSERT_TRUE(s.has_value()) << spec.name;
+    EXPECT_GT(*s, 1.0) << spec.name;
+  }
+}
+
+TEST(Extension, Balanced24StillA100Only) {
+  LayerProblem p{2048, 128, 2048, 0.5, 32};
+  EXPECT_FALSE(LayerStats(KernelClass::kBalanced24, p,
+                          GetGpuSpec(GpuArch::kCdna1))
+                   .has_value());
+}
+
+TEST(LaunchModel, MultiStreamOverheadShape) {
+  // launches/streams amortization + per-stream sync: more streams help
+  // until the sync term dominates.
+  const GpuSpec& spec = GetGpuSpec(GpuArch::kV100);
+  const CostModel model(spec);
+  KernelStats s;
+  s.kernel_class = KernelClass::kTilewise;
+  s.tensor_core = true;
+  s.issued_macs = 1;
+  s.dram_read_bytes = 1;
+  s.l2_read_bytes = 1;
+  s.num_kernel_launches = 64;
+  s.num_streams = 8;
+  const double t8 = model.Estimate(s).launch_s;
+  s.num_streams = 1;
+  // Single stream pays all launches serially.
+  const double t1 = model.Estimate(s).launch_s;
+  EXPECT_LT(t8, t1);
+  EXPECT_NEAR(t8, spec.kernel_launch_overhead * (64.0 / 8 + 8), 1e-12);
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,77 @@
+#include "arch/flexibility.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Flexibility, LogFactorialMatchesSmallCases) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-6);
+}
+
+TEST(Flexibility, LogBinomialMatchesSmallCases) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 5), std::log(252.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(7, 7), 0.0, 1e-12);
+  EXPECT_THROW(LogBinomial(5, 6), Error);
+}
+
+TEST(Flexibility, RowGroupingSmallCase) {
+  // 4 rows in ordered groups of 2: 4!/(2!^2) = 6.
+  EXPECT_NEAR(LogRowGroupingCount(4, 2, true), std::log(6.0), 1e-9);
+  // Unordered groups: 6/2! = 3.
+  EXPECT_NEAR(LogRowGroupingCount(4, 2, false), std::log(3.0), 1e-9);
+}
+
+TEST(Flexibility, PaperExampleExceedsE700) {
+  // §3.2.1: "for a weight matrix with M=512 rows and when V=128, this
+  // combination number already exceeds e^700".
+  const double log_count = LogRowGroupingCount(512, 128, true);
+  EXPECT_GT(log_count, 700.0);
+}
+
+TEST(Flexibility, GroupingRequiresDivisibility) {
+  EXPECT_THROW(LogRowGroupingCount(10, 3, true), Error);
+}
+
+TEST(Flexibility, PatternOrdering) {
+  // Unstructured > Shfl-BW > vector-wise > block-wise (Fig. 3 order).
+  const FlexibilityReport rep = AnalyzeFlexibility(256, 256, 0.25, 32);
+  EXPECT_GT(rep.log_unstructured, rep.log_shfl_bw);
+  EXPECT_GT(rep.log_shfl_bw, rep.log_vector_wise);
+  EXPECT_GT(rep.log_vector_wise, rep.log_block_wise);
+}
+
+TEST(Flexibility, ShflBwGainIsTheGroupingCount) {
+  const FlexibilityReport rep = AnalyzeFlexibility(256, 256, 0.25, 32);
+  EXPECT_NEAR(rep.log_shfl_bw - rep.log_vector_wise,
+              LogRowGroupingCount(256, 32, true), 1e-9);
+}
+
+class FlexibilitySweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(FlexibilitySweep, OrderingHoldsAcrossVAndAlpha) {
+  const int v = std::get<0>(GetParam());
+  const double alpha = std::get<1>(GetParam());
+  const FlexibilityReport rep = AnalyzeFlexibility(512, 512, alpha, v);
+  EXPECT_GE(rep.log_unstructured, rep.log_shfl_bw - 1e-9);
+  EXPECT_GT(rep.log_shfl_bw, rep.log_vector_wise);
+  EXPECT_GT(rep.log_vector_wise, rep.log_block_wise);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FlexibilitySweep,
+    ::testing::Combine(::testing::Values(8, 16, 32, 64, 128),
+                       ::testing::Values(0.05, 0.1, 0.2, 0.25, 0.5)));
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,59 @@
+#include "arch/gpu_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+TEST(GpuSpec, ThreeGpusAvailable) {
+  EXPECT_EQ(AllGpus().size(), 3u);
+  EXPECT_EQ(GetGpuSpec(GpuArch::kV100).name, "V100");
+  EXPECT_EQ(GetGpuSpec(GpuArch::kT4).name, "T4");
+  EXPECT_EQ(GetGpuSpec(GpuArch::kA100).name, "A100");
+}
+
+TEST(GpuSpec, ParseIsCaseInsensitive) {
+  EXPECT_EQ(ParseGpuArch("v100"), GpuArch::kV100);
+  EXPECT_EQ(ParseGpuArch("T4"), GpuArch::kT4);
+  EXPECT_EQ(ParseGpuArch("a100"), GpuArch::kA100);
+  EXPECT_THROW(ParseGpuArch("H100"), Error);
+}
+
+TEST(GpuSpec, TensorCoreAdvantageAboutFour) {
+  // §2.1: "The peak throughput of tensor-cores exceeds original
+  // CUDA-cores by a large margin, e.g. 4x on V100 and A100".
+  EXPECT_NEAR(GetGpuSpec(GpuArch::kV100).TensorCoreAdvantage(), 4.0, 0.2);
+  EXPECT_NEAR(GetGpuSpec(GpuArch::kA100).TensorCoreAdvantage(), 4.0, 0.2);
+  EXPECT_NEAR(GetGpuSpec(GpuArch::kT4).TensorCoreAdvantage(), 4.0, 0.2);
+}
+
+TEST(GpuSpec, ComputeToBandwidthRatiosPinned) {
+  // These ratios drive which kernels are compute- vs memory-bound per
+  // GPU (the §6.2 T4-vs-V100 argument); pin them so calibration is
+  // stable: V100 112T/900G = 124, T4 65T/320G = 203, A100 312T/1555G =
+  // 201 flop per DRAM byte.
+  EXPECT_NEAR(GetGpuSpec(GpuArch::kV100).ComputeToBandwidthRatio(), 124.4,
+              1.0);
+  EXPECT_NEAR(GetGpuSpec(GpuArch::kT4).ComputeToBandwidthRatio(), 203.1,
+              1.0);
+  EXPECT_NEAR(GetGpuSpec(GpuArch::kA100).ComputeToBandwidthRatio(), 200.6,
+              1.0);
+}
+
+TEST(GpuSpec, A100NeedsAbout63MacsPerLlcValue) {
+  // §2.1: "given the A100 tensor-core throughput and last-level-cache
+  // bandwidth, one needs to perform 63 MACs on each loaded value".
+  EXPECT_NEAR(GetGpuSpec(GpuArch::kA100).MacsPerLlcValue(), 63.0, 3.0);
+}
+
+TEST(GpuSpec, BandwidthOrdering) {
+  EXPECT_GT(GetGpuSpec(GpuArch::kA100).dram_bandwidth,
+            GetGpuSpec(GpuArch::kV100).dram_bandwidth);
+  EXPECT_GT(GetGpuSpec(GpuArch::kV100).dram_bandwidth,
+            GetGpuSpec(GpuArch::kT4).dram_bandwidth);
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,92 @@
+#include "arch/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/gemm_dense.h"
+
+namespace shflbw {
+namespace {
+
+const GpuSpec& V100() { return GetGpuSpec(GpuArch::kV100); }
+
+KernelStats ComputeBoundStats(int blocks) {
+  KernelStats s;
+  s.kernel_class = KernelClass::kDenseTensorCore;
+  s.tensor_core = true;
+  s.useful_flops = 2e9;
+  s.issued_macs = 1e9;
+  s.dram_read_bytes = 100;
+  s.dram_write_bytes = 10;
+  s.l2_read_bytes = 100;
+  s.threadblocks = blocks;
+  return s;
+}
+
+TEST(Occupancy, SingleWaveFullMachine) {
+  // 80 SMs x 1 block/SM at 96KB smem and 64KB/block -> 80 concurrent.
+  const OccupancyReport r =
+      AnalyzeOccupancy(ComputeBoundStats(80), V100());
+  EXPECT_EQ(r.blocks_per_sm, 1);
+  EXPECT_EQ(r.concurrent_blocks, 80);
+  EXPECT_EQ(r.waves, 1);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Occupancy, TailWaveWastesTime) {
+  // 81 blocks -> 2 waves, second wave 1/80 full.
+  const OccupancyReport r =
+      AnalyzeOccupancy(ComputeBoundStats(81), V100());
+  EXPECT_EQ(r.waves, 2);
+  EXPECT_NEAR(r.last_wave_fill, 1.0 / 80, 1e-12);
+  EXPECT_NEAR(r.utilization, 81.0 / 160, 1e-12);
+}
+
+TEST(Occupancy, SmallLaunchUnderutilizes) {
+  // The Fig. 1 dense GEMM at M/N = 2048/128 launches only 16 blocks.
+  const GpuSpec& spec = V100();
+  const KernelStats s = GemmTensorCoreStats(2048, 128, 2048, spec);
+  const OccupancyReport r = AnalyzeOccupancy(s, spec);
+  EXPECT_LT(r.utilization, 0.5);
+}
+
+TEST(Occupancy, AdjustedTimeNeverFaster) {
+  const CostModel model(V100());
+  for (int blocks : {1, 16, 80, 81, 160, 1000}) {
+    const KernelStats s = ComputeBoundStats(blocks);
+    EXPECT_GE(EstimateWithOccupancy(model, s).total_s,
+              model.Estimate(s).total_s - 1e-15)
+        << blocks;
+  }
+}
+
+TEST(Occupancy, ComputeBoundStretchesByUtilization) {
+  const CostModel model(V100());
+  const KernelStats s = ComputeBoundStats(40);  // half a wave
+  const TimeBreakdown base = model.Estimate(s);
+  const TimeBreakdown adj = EstimateWithOccupancy(model, s);
+  EXPECT_NEAR(adj.compute_s, base.compute_s * 2.0, 1e-12);
+}
+
+TEST(Occupancy, MemoryBoundUnaffected) {
+  KernelStats s = ComputeBoundStats(8);
+  s.issued_macs = 1;          // compute negligible
+  s.dram_read_bytes = 1e9;    // firmly DRAM-bound
+  const CostModel model(V100());
+  const TimeBreakdown base = model.Estimate(s);
+  const TimeBreakdown adj = EstimateWithOccupancy(model, s);
+  EXPECT_DOUBLE_EQ(adj.total_s, base.total_s);
+  EXPECT_EQ(adj.bound, Bound::kDram);
+}
+
+TEST(Occupancy, SmemFootprintLimitsBlocksPerSm) {
+  const OccupancyReport tight =
+      AnalyzeOccupancy(ComputeBoundStats(200), V100(), 96.0 * 1024);
+  const OccupancyReport loose =
+      AnalyzeOccupancy(ComputeBoundStats(200), V100(), 24.0 * 1024);
+  EXPECT_EQ(tight.blocks_per_sm, 1);
+  EXPECT_EQ(loose.blocks_per_sm, 4);
+  EXPECT_LE(loose.waves, tight.waves);
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,135 @@
+#include "common/fp16.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace shflbw {
+namespace {
+
+TEST(Fp16, ZeroRoundTrips) {
+  EXPECT_EQ(Fp16(0.0f).ToFloat(), 0.0f);
+  EXPECT_EQ(Fp16(-0.0f).bits(), 0x8000u);
+  EXPECT_TRUE(Fp16(0.0f).IsZero());
+  EXPECT_TRUE(Fp16(-0.0f).IsZero());
+}
+
+TEST(Fp16, SmallIntegersExact) {
+  for (int i = -2048; i <= 2048; ++i) {
+    EXPECT_EQ(Fp16(static_cast<float>(i)).ToFloat(), static_cast<float>(i))
+        << "i=" << i;
+  }
+}
+
+TEST(Fp16, PowersOfTwoExact) {
+  for (int e = -14; e <= 15; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(Fp16(v).ToFloat(), v) << "2^" << e;
+  }
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(Fp16(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(Fp16(-1.0f).bits(), 0xBC00u);
+  EXPECT_EQ(Fp16(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(Fp16(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Fp16(65504.0f).bits(), 0x7BFFu);  // max finite
+}
+
+TEST(Fp16, OverflowToInfinity) {
+  EXPECT_TRUE(Fp16(65520.0f).IsInf());
+  EXPECT_TRUE(Fp16(1e10f).IsInf());
+  EXPECT_TRUE(Fp16(-1e10f).IsInf());
+  EXPECT_EQ(Fp16(1e10f).bits(), 0x7C00u);
+  EXPECT_EQ(Fp16(-1e10f).bits(), 0xFC00u);
+}
+
+TEST(Fp16, MaxFiniteSurvives) {
+  EXPECT_FALSE(Fp16(65504.0f).IsInf());
+  EXPECT_EQ(Fp16(65504.0f).ToFloat(), 65504.0f);
+  // 65519.996 rounds down to 65504, 65520 rounds up to inf.
+  EXPECT_FALSE(Fp16(65519.0f).IsInf());
+}
+
+TEST(Fp16, SubnormalsRepresented) {
+  const float smallest = std::ldexp(1.0f, -24);  // 2^-24
+  EXPECT_EQ(Fp16(smallest).ToFloat(), smallest);
+  EXPECT_EQ(Fp16(smallest).bits(), 0x0001u);
+  const float largest_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(Fp16(largest_sub).ToFloat(), largest_sub);
+}
+
+TEST(Fp16, UnderflowToZero) {
+  EXPECT_TRUE(Fp16(std::ldexp(1.0f, -26)).IsZero());
+  EXPECT_TRUE(Fp16(1e-20f).IsZero());
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: rounds to even (1.0).
+  EXPECT_EQ(Fp16(1.0f + std::ldexp(1.0f, -11)).ToFloat(), 1.0f);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: rounds to even (1+2^-9).
+  EXPECT_EQ(Fp16(1.0f + 3.0f * std::ldexp(1.0f, -11)).ToFloat(),
+            1.0f + std::ldexp(1.0f, -9));
+  // Slightly above the midpoint rounds up.
+  EXPECT_EQ(Fp16(1.0f + std::ldexp(1.2f, -11)).ToFloat(),
+            1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Fp16, NanPropagates) {
+  const Fp16 nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(nan.IsNan());
+  EXPECT_TRUE(std::isnan(nan.ToFloat()));
+  EXPECT_FALSE(nan == nan);
+}
+
+TEST(Fp16, InfinityRoundTrips) {
+  const Fp16 inf(std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(inf.IsInf());
+  EXPECT_EQ(inf.ToFloat(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ((-inf).ToFloat(), -std::numeric_limits<float>::infinity());
+}
+
+TEST(Fp16, NegationFlipsSignBit) {
+  EXPECT_EQ((-Fp16(1.5f)).ToFloat(), -1.5f);
+  EXPECT_EQ((-Fp16(-3.25f)).ToFloat(), 3.25f);
+}
+
+TEST(Fp16, ArithmeticRoundsThroughHalf) {
+  // 2048 + 1 = 2049 is not representable (spacing 2 at that magnitude):
+  // result rounds back to 2048.
+  EXPECT_EQ((Fp16(2048.0f) + Fp16(1.0f)).ToFloat(), 2048.0f);
+  EXPECT_EQ((Fp16(3.0f) * Fp16(0.5f)).ToFloat(), 1.5f);
+  EXPECT_EQ((Fp16(1.0f) / Fp16(4.0f)).ToFloat(), 0.25f);
+}
+
+TEST(Fp16, FmaAccumulatesInFp32) {
+  // fp32 accumulation keeps precision fp16 arithmetic would lose:
+  // 2048 + 1 stays 2049 in the fp32 accumulator.
+  float acc = 2048.0f;
+  acc = FmaF16F32(Fp16(1.0f), Fp16(1.0f), acc);
+  EXPECT_EQ(acc, 2049.0f);
+}
+
+// Round-trip property over a wide value sweep: fp16 -> float -> fp16 is
+// the identity on every finite fp16 bit pattern.
+TEST(Fp16, AllFiniteBitPatternsRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const Fp16 h = Fp16::FromBits(static_cast<std::uint16_t>(bits));
+    if (h.IsNan()) continue;
+    const Fp16 back(h.ToFloat());
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=0x" << std::hex << bits;
+  }
+}
+
+// Conversion from float is monotone: ordering is preserved (weak).
+TEST(Fp16, ConversionIsMonotone) {
+  float prev = -70000.0f;
+  for (float v = -70000.0f; v <= 70000.0f; v += 333.77f) {
+    EXPECT_LE(Fp16(prev).ToFloat(), Fp16(v).ToFloat());
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace shflbw

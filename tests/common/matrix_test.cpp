@@ -1,0 +1,96 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<float> m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matrix, ConstructZeroInitialized) {
+  Matrix<float> m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.storage()[i], 0.0f);
+  }
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix<float> m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  EXPECT_EQ(m.storage()[0], 1.0f);
+  EXPECT_EQ(m.storage()[2], 3.0f);
+  EXPECT_EQ(m.storage()[3], 4.0f);
+  EXPECT_EQ(m.row(1)[0], 4.0f);
+}
+
+TEST(Matrix, AtThrowsOutOfBounds) {
+  Matrix<float> m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+  EXPECT_THROW(m.at(-1, 0), Error);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, DataVectorConstructorValidatesSize) {
+  EXPECT_THROW(Matrix<float>(2, 2, std::vector<float>{1, 2, 3}), Error);
+  Matrix<float> m(2, 2, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(m(1, 1), 4.0f);
+}
+
+TEST(Matrix, EqualityComparesShapeAndData) {
+  Matrix<float> a(2, 2, {1, 2, 3, 4});
+  Matrix<float> b(2, 2, {1, 2, 3, 4});
+  Matrix<float> c(2, 2, {1, 2, 3, 5});
+  Matrix<float> d(4, 1, {1, 2, 3, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(Matrix, Fp16RoundTripQuantizes) {
+  Matrix<float> m(1, 2, {1.0f, 2049.0f});
+  const Matrix<float> q = ToFloat(ToFp16(m));
+  EXPECT_EQ(q(0, 0), 1.0f);
+  EXPECT_EQ(q(0, 1), 2048.0f);  // 2049 not representable in fp16
+}
+
+TEST(Matrix, SparsityAndNnz) {
+  Matrix<float> m(2, 2, {0, 1, 0, 2});
+  EXPECT_EQ(CountNonZeros(m), 2u);
+  EXPECT_DOUBLE_EQ(Sparsity(m), 0.5);
+  Matrix<float> z(3, 3);
+  EXPECT_DOUBLE_EQ(Sparsity(z), 1.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix<float> a(1, 3, {1, 2, 3});
+  Matrix<float> b(1, 3, {1, 2.5f, 2});
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 1.0f);
+  Matrix<float> c(3, 1, {1, 2, 3});
+  EXPECT_THROW(MaxAbsDiff(a, c), Error);
+}
+
+TEST(Check, MacroThrowsWithMessage) {
+  try {
+    SHFLBW_CHECK_MSG(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message 42"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,59 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace shflbw {
+namespace {
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 20) == b.UniformInt(0, 1 << 20)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(7);
+  const std::vector<int> p = rng.Permutation(257);
+  std::vector<int> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SparseMatrixDensityApproximate) {
+  Rng rng(11);
+  const Matrix<float> m = rng.SparseMatrix(200, 200, 0.25);
+  const double density = 1.0 - Sparsity(m);
+  EXPECT_NEAR(density, 0.25, 0.02);
+}
+
+TEST(Rng, SparseMatrixExtremes) {
+  Rng rng(5);
+  EXPECT_EQ(CountNonZeros(rng.SparseMatrix(10, 10, 0.0)), 0u);
+  EXPECT_EQ(CountNonZeros(rng.SparseMatrix(10, 10, 1.0)), 100u);
+  EXPECT_THROW(rng.SparseMatrix(4, 4, 1.5), Error);
+}
+
+TEST(Rng, NormalMatrixMoments) {
+  Rng rng(13);
+  const Matrix<float> m = rng.NormalMatrix(100, 100, 2.0f, 0.5f);
+  double mean = 0;
+  for (float v : m.storage()) mean += v;
+  mean /= static_cast<double>(m.size());
+  EXPECT_NEAR(mean, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace shflbw

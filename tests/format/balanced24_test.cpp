@@ -1,0 +1,70 @@
+#include "format/balanced24.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prune/balanced24_prune.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Balanced24, RejectsNonMultipleOf4Cols) {
+  EXPECT_THROW(Balanced24Matrix::FromDense(Matrix<float>(2, 6)), Error);
+}
+
+TEST(Balanced24, RejectsOverfullQuad) {
+  Matrix<float> d(1, 4, {1, 2, 3, 0});
+  EXPECT_THROW(Balanced24Matrix::FromDense(d), Error);
+}
+
+TEST(Balanced24, KnownSmallMatrix) {
+  Matrix<float> d(1, 8, {1, 0, 0, 2, 0, 3, 4, 0});
+  const Balanced24Matrix m = Balanced24Matrix::FromDense(d);
+  EXPECT_NO_THROW(m.Validate());
+  EXPECT_EQ(m.values, (std::vector<float>{1, 2, 3, 4}));
+  EXPECT_EQ(m.meta, (std::vector<std::uint8_t>{0, 3, 1, 2}));
+  EXPECT_EQ(m.ToDense(), d);
+}
+
+TEST(Balanced24, PadsSparseQuads) {
+  Matrix<float> d(1, 4, {0, 5, 0, 0});  // one non-zero: pad with a zero
+  const Balanced24Matrix m = Balanced24Matrix::FromDense(d);
+  EXPECT_NO_THROW(m.Validate());
+  EXPECT_EQ(m.ToDense(), d);
+  EXPECT_EQ(m.values.size(), 2u);
+}
+
+TEST(Balanced24, EmptyQuadPads) {
+  const Balanced24Matrix m = Balanced24Matrix::FromDense(Matrix<float>(2, 4));
+  EXPECT_NO_THROW(m.Validate());
+  EXPECT_EQ(m.ToDense(), Matrix<float>(2, 4));
+}
+
+TEST(Balanced24, RoundTripPrunedRandom) {
+  Rng rng(47);
+  const Matrix<float> w = rng.NormalMatrix(32, 64);
+  const Matrix<float> pruned = PruneBalanced24(w);
+  EXPECT_TRUE(Satisfies24(pruned));
+  const Balanced24Matrix m = Balanced24Matrix::FromDense(pruned);
+  EXPECT_NO_THROW(m.Validate());
+  EXPECT_EQ(m.ToDense(), pruned);
+  EXPECT_NEAR(1.0 - Sparsity(pruned), 0.5, 1e-9);
+}
+
+TEST(Balanced24, Satisfies24Detection) {
+  Matrix<float> ok(1, 4, {1, 0, 2, 0});
+  Matrix<float> bad(1, 4, {1, 2, 3, 0});
+  EXPECT_TRUE(Satisfies24(ok));
+  EXPECT_FALSE(Satisfies24(bad));
+  EXPECT_FALSE(Satisfies24(Matrix<float>(1, 6)));  // bad width
+}
+
+TEST(Balanced24, MetadataIsTwoBitsPerValue) {
+  const Balanced24Matrix m =
+      Balanced24Matrix::FromDense(Matrix<float>(4, 16));
+  // 4*16/2 = 32 kept slots, 2 bits each = 8 bytes.
+  EXPECT_DOUBLE_EQ(m.MetadataBytes(), 8.0);
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,78 @@
+#include "format/bsr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prune/block_wise.h"
+#include "format/convert.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Bsr, RejectsMisalignedShape) {
+  EXPECT_THROW(BsrMatrix::FromDense(Matrix<float>(6, 6), 4), Error);
+  EXPECT_THROW(BsrMatrix::FromDense(Matrix<float>(8, 6), 4), Error);
+}
+
+TEST(Bsr, SingleBlock) {
+  Matrix<float> d(2, 2, {1, 2, 3, 4});
+  const BsrMatrix bsr = BsrMatrix::FromDense(d, 2);
+  EXPECT_EQ(bsr.NnzBlocks(), 1);
+  EXPECT_EQ(bsr.values, (std::vector<float>{1, 2, 3, 4}));
+  EXPECT_EQ(bsr.ToDense(), d);
+}
+
+TEST(Bsr, SkipsAllZeroBlocks) {
+  Matrix<float> d(4, 4);
+  d(0, 0) = 5;  // only block (0,0) kept
+  const BsrMatrix bsr = BsrMatrix::FromDense(d, 2);
+  EXPECT_EQ(bsr.NnzBlocks(), 1);
+  EXPECT_EQ(bsr.block_col_idx, (std::vector<int>{0}));
+  EXPECT_EQ(bsr.ToDense(), d);
+}
+
+TEST(Bsr, KeptBlocksMayContainZeros) {
+  // Padding semantics: a block with any non-zero is stored whole.
+  Matrix<float> d(2, 2, {1, 0, 0, 0});
+  const BsrMatrix bsr = BsrMatrix::FromDense(d, 2);
+  EXPECT_EQ(bsr.NnzBlocks(), 1);
+  EXPECT_EQ(bsr.ToDense(), d);
+}
+
+TEST(Bsr, RoundTripBlockPrunedRandom) {
+  Rng rng(23);
+  const Matrix<float> w = rng.NormalMatrix(64, 64);
+  const Matrix<float> pruned = PruneBlockWise(w, 0.25, 16);
+  const BsrMatrix bsr = BsrMatrix::FromDense(pruned, 16);
+  EXPECT_NO_THROW(bsr.Validate());
+  EXPECT_EQ(bsr.ToDense(), pruned);
+  EXPECT_NEAR(bsr.Density(), 0.25, 1e-9);
+}
+
+TEST(Bsr, ValidateCatchesCorruptedBlockColumns) {
+  Matrix<float> d(4, 4, std::vector<float>(16, 1.0f));
+  BsrMatrix bsr = BsrMatrix::FromDense(d, 2);
+  std::swap(bsr.block_col_idx[0], bsr.block_col_idx[1]);
+  EXPECT_THROW(bsr.Validate(), Error);
+}
+
+TEST(Bsr, IsBlockAlignedDetectsPurePattern) {
+  Rng rng(29);
+  const Matrix<float> w = rng.UniformMatrix(32, 32, 0.5f, 1.0f);  // no zeros
+  const Matrix<float> pruned = PruneBlockWise(w, 0.5, 8);
+  EXPECT_TRUE(IsBlockAligned(pruned, 8));
+  Matrix<float> broken = pruned;
+  // Zero one element inside a kept block -> no longer pure block-wise.
+  for (int r = 0; r < 32 && broken == pruned; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      if (broken(r, c) != 0.0f) {
+        broken(r, c) = 0.0f;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(IsBlockAligned(broken, 8));
+}
+
+}  // namespace
+}  // namespace shflbw

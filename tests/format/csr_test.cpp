@@ -1,0 +1,66 @@
+#include "format/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Csr, EmptyMatrix) {
+  const CsrMatrix csr = CsrMatrix::FromDense(Matrix<float>(3, 4));
+  EXPECT_EQ(csr.Nnz(), 0);
+  EXPECT_NO_THROW(csr.Validate());
+  EXPECT_EQ(csr.ToDense(), Matrix<float>(3, 4));
+}
+
+TEST(Csr, KnownSmallMatrix) {
+  Matrix<float> d(2, 3, {1, 0, 2, 0, 3, 0});
+  const CsrMatrix csr = CsrMatrix::FromDense(d);
+  EXPECT_EQ(csr.Nnz(), 3);
+  EXPECT_EQ(csr.row_ptr, (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(csr.col_idx, (std::vector<int>{0, 2, 1}));
+  EXPECT_EQ(csr.values, (std::vector<float>{1, 2, 3}));
+}
+
+TEST(Csr, RoundTripRandom) {
+  Rng rng(17);
+  for (double density : {0.05, 0.3, 0.9}) {
+    const Matrix<float> d = rng.SparseMatrix(37, 53, density);
+    const CsrMatrix csr = CsrMatrix::FromDense(d);
+    EXPECT_NO_THROW(csr.Validate());
+    EXPECT_EQ(csr.ToDense(), d) << "density=" << density;
+  }
+}
+
+TEST(Csr, DensityComputed) {
+  Matrix<float> d(2, 2, {1, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(CsrMatrix::FromDense(d).Density(), 0.5);
+}
+
+TEST(Csr, ValidateCatchesBadRowPtr) {
+  CsrMatrix csr = CsrMatrix::FromDense(Matrix<float>(2, 2, {1, 0, 0, 1}));
+  csr.row_ptr[1] = 5;
+  EXPECT_THROW(csr.Validate(), Error);
+}
+
+TEST(Csr, ValidateCatchesUnsortedColumns) {
+  CsrMatrix csr = CsrMatrix::FromDense(Matrix<float>(1, 3, {1, 2, 3}));
+  std::swap(csr.col_idx[0], csr.col_idx[2]);
+  EXPECT_THROW(csr.Validate(), Error);
+}
+
+TEST(Csr, ValidateCatchesOutOfRangeColumn) {
+  CsrMatrix csr = CsrMatrix::FromDense(Matrix<float>(1, 3, {1, 0, 0}));
+  csr.col_idx[0] = 7;
+  EXPECT_THROW(csr.Validate(), Error);
+}
+
+TEST(Csr, MetadataBytesCounted) {
+  const CsrMatrix csr =
+      CsrMatrix::FromDense(Matrix<float>(2, 2, {1, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(csr.MetadataBytes(), 4.0 * (3 + 4));
+}
+
+}  // namespace
+}  // namespace shflbw

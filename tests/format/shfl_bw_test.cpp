@@ -1,0 +1,106 @@
+#include "format/shfl_bw.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prune/shfl_bw_search.h"
+
+namespace shflbw {
+namespace {
+
+/// A matrix that is exactly Shfl-BW: rows 0/2 share a pattern, 1/3 share
+/// another, interleaved so grouping requires a shuffle.
+Matrix<float> InterleavedPatternMatrix() {
+  Matrix<float> d(4, 4);
+  d(0, 0) = 1; d(0, 2) = 2;   // pattern A
+  d(1, 1) = 3; d(1, 3) = 4;   // pattern B
+  d(2, 0) = 5; d(2, 2) = 6;   // pattern A
+  d(3, 1) = 7; d(3, 3) = 8;   // pattern B
+  return d;
+}
+
+TEST(ShflBw, ExplicitPermutationRoundTrip) {
+  const Matrix<float> d = InterleavedPatternMatrix();
+  const ShflBwMatrix m = ShflBwMatrix::FromDense(d, 2, {0, 2, 1, 3});
+  EXPECT_NO_THROW(m.Validate());
+  EXPECT_EQ(m.ToDense(), d);
+  // Grouped correctly: each group keeps exactly 2 columns, no padding.
+  EXPECT_EQ(m.vw.KeptColumnsInGroup(0), 2);
+  EXPECT_EQ(m.vw.KeptColumnsInGroup(1), 2);
+  EXPECT_DOUBLE_EQ(m.vw.PaddingFraction(), 0.0);
+}
+
+TEST(ShflBw, BadPermutationRejected) {
+  const Matrix<float> d = InterleavedPatternMatrix();
+  EXPECT_THROW(ShflBwMatrix::FromDense(d, 2, {0, 0, 1, 3}), Error);  // dup
+  EXPECT_THROW(ShflBwMatrix::FromDense(d, 2, {0, 1, 2}), Error);  // short
+  EXPECT_THROW(ShflBwMatrix::FromDense(d, 2, {0, 1, 2, 4}), Error);  // range
+}
+
+TEST(ShflBw, AutoGroupingRecoversExactPattern) {
+  const Matrix<float> d = InterleavedPatternMatrix();
+  const ShflBwMatrix m = ShflBwMatrix::FromDenseAuto(d, 2);
+  EXPECT_EQ(m.ToDense(), d);
+  EXPECT_DOUBLE_EQ(m.vw.PaddingFraction(), 0.0);  // perfect grouping
+}
+
+TEST(ShflBw, AutoGroupingHandlesNonGroupableMatrix) {
+  // Every row has a different pattern: grouping must pad, never fail.
+  Matrix<float> d(4, 4);
+  d(0, 0) = 1;
+  d(1, 1) = 1;
+  d(2, 2) = 1;
+  d(3, 3) = 1;
+  const ShflBwMatrix m = ShflBwMatrix::FromDenseAuto(d, 2);
+  EXPECT_NO_THROW(m.Validate());
+  EXPECT_EQ(m.ToDense(), d);
+  EXPECT_GT(m.vw.PaddingFraction(), 0.0);
+}
+
+TEST(ShflBw, IsShflBwDetection) {
+  EXPECT_TRUE(IsShflBw(InterleavedPatternMatrix(), 2));
+  Matrix<float> odd(4, 4);
+  odd(0, 0) = 1;  // one row with a unique pattern, three empty
+  EXPECT_FALSE(IsShflBw(odd, 2));
+  EXPECT_FALSE(IsShflBw(InterleavedPatternMatrix(), 3));  // no divisibility
+}
+
+Matrix<float> ExtractMaskForTest(const ShflBwMatrix& m) {
+  const Matrix<float> dense = m.ToDense();
+  Matrix<float> mask(dense.rows(), dense.cols());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    mask.storage()[i] = dense.storage()[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+TEST(ShflBw, SearchOutputIsAlwaysValidShflBw) {
+  Rng rng(41);
+  const Matrix<float> w = rng.NormalMatrix(64, 64);
+  const ShflBwMatrix m = PruneToShflBw(w, 0.25, 16);
+  EXPECT_NO_THROW(m.Validate());
+  // The search's mask groups rows exactly: pattern check passes.
+  EXPECT_TRUE(IsShflBw(ExtractMaskForTest(m), 16));
+}
+
+TEST(ShflBw, MetadataIncludesRowIndices) {
+  const Matrix<float> d = InterleavedPatternMatrix();
+  const ShflBwMatrix m = ShflBwMatrix::FromDense(d, 2, {0, 2, 1, 3});
+  EXPECT_DOUBLE_EQ(m.MetadataBytes() - m.vw.MetadataBytes(), 4.0 * 4);
+}
+
+TEST(ShflBw, IdentityPermutationEqualsVectorWise) {
+  Rng rng(43);
+  const Matrix<float> d = rng.SparseMatrix(16, 16, 0.4);
+  std::vector<int> identity(16);
+  std::iota(identity.begin(), identity.end(), 0);
+  const ShflBwMatrix m = ShflBwMatrix::FromDense(d, 4, identity);
+  const VectorWiseMatrix vw = VectorWiseMatrix::FromDense(d, 4);
+  EXPECT_EQ(m.vw.col_idx, vw.col_idx);
+  EXPECT_EQ(m.vw.values, vw.values);
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,79 @@
+#include "format/vector_wise.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+TEST(VectorWise, RejectsMisalignedRows) {
+  EXPECT_THROW(VectorWiseMatrix::FromDense(Matrix<float>(6, 4), 4), Error);
+}
+
+TEST(VectorWise, KnownSmallMatrix) {
+  // Two groups of 2 rows; group 0 keeps cols {0,2}, group 1 keeps {1}.
+  Matrix<float> d(4, 3, {1, 0, 2,
+                         3, 0, 4,
+                         0, 5, 0,
+                         0, 6, 0});
+  const VectorWiseMatrix vw = VectorWiseMatrix::FromDense(d, 2);
+  EXPECT_EQ(vw.Groups(), 2);
+  EXPECT_EQ(vw.KeptVectors(), 3);
+  EXPECT_EQ(vw.group_col_ptr, (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(vw.col_idx, (std::vector<int>{0, 2, 1}));
+  // Vector-contiguous: values of one vector are adjacent.
+  EXPECT_EQ(vw.values, (std::vector<float>{1, 3, 2, 4, 5, 6}));
+  EXPECT_EQ(vw.ToDense(), d);
+}
+
+TEST(VectorWise, PaddingZerosStored) {
+  // A kept column with a zero inside the group stores the zero.
+  Matrix<float> d(2, 2, {1, 0,
+                         0, 0});
+  const VectorWiseMatrix vw = VectorWiseMatrix::FromDense(d, 2);
+  EXPECT_EQ(vw.KeptVectors(), 1);
+  EXPECT_EQ(vw.values, (std::vector<float>{1, 0}));
+  EXPECT_DOUBLE_EQ(vw.PaddingFraction(), 0.5);
+}
+
+TEST(VectorWise, NoPaddingAfterVectorWisePruning) {
+  Rng rng(31);
+  // All-non-zero weights pruned vector-wise have no padding.
+  const Matrix<float> w = rng.UniformMatrix(64, 48, 0.5f, 1.5f);
+  const Matrix<float> pruned = PruneVectorWise(w, 0.25, 16);
+  const VectorWiseMatrix vw = VectorWiseMatrix::FromDense(pruned, 16);
+  EXPECT_NO_THROW(vw.Validate());
+  EXPECT_DOUBLE_EQ(vw.PaddingFraction(), 0.0);
+  EXPECT_NEAR(vw.StoredDensity(), 0.25, 1e-9);
+}
+
+TEST(VectorWise, RoundTripRandom) {
+  Rng rng(37);
+  for (int v : {2, 4, 8, 16}) {
+    const Matrix<float> d = rng.SparseMatrix(32, 40, 0.3);
+    const VectorWiseMatrix vw = VectorWiseMatrix::FromDense(d, v);
+    EXPECT_NO_THROW(vw.Validate());
+    EXPECT_EQ(vw.ToDense(), d) << "v=" << v;
+  }
+}
+
+TEST(VectorWise, PerGroupCountsVary) {
+  Matrix<float> d(4, 4);
+  d(0, 0) = d(0, 1) = d(0, 2) = 1;  // group 0: 3 vectors
+  d(2, 3) = 1;                      // group 1: 1 vector
+  const VectorWiseMatrix vw = VectorWiseMatrix::FromDense(d, 2);
+  EXPECT_EQ(vw.KeptColumnsInGroup(0), 3);
+  EXPECT_EQ(vw.KeptColumnsInGroup(1), 1);
+}
+
+TEST(VectorWise, ValidateCatchesUnsortedColumns) {
+  Matrix<float> d(2, 3, {1, 1, 0, 1, 1, 0});
+  VectorWiseMatrix vw = VectorWiseMatrix::FromDense(d, 2);
+  std::swap(vw.col_idx[0], vw.col_idx[1]);
+  EXPECT_THROW(vw.Validate(), Error);
+}
+
+}  // namespace
+}  // namespace shflbw

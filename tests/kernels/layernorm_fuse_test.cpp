@@ -1,0 +1,89 @@
+#include "kernels/layernorm_fuse.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.h"
+#include "common/rng.h"
+
+namespace shflbw {
+namespace {
+
+LayerNormParams UnitParams(int features) {
+  LayerNormParams p;
+  p.gamma.assign(static_cast<std::size_t>(features), 1.0f);
+  p.beta.assign(static_cast<std::size_t>(features), 0.0f);
+  return p;
+}
+
+TEST(LayerNorm, NormalizesPerToken) {
+  Rng rng(647);
+  const Matrix<float> x = rng.NormalMatrix(8, 64, 3.0f, 2.0f);
+  const Matrix<float> y = LayerNorm(x, UnitParams(64));
+  for (int t = 0; t < 8; ++t) {
+    double mean = 0, var = 0;
+    for (int f = 0; f < 64; ++f) mean += y(t, f);
+    mean /= 64;
+    for (int f = 0; f < 64; ++f) {
+      var += (y(t, f) - mean) * (y(t, f) - mean);
+    }
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-2) << "token " << t;
+    EXPECT_NEAR(var, 1.0, 0.05) << "token " << t;
+  }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  Matrix<float> x(1, 4, {1, 2, 3, 4});
+  LayerNormParams p = UnitParams(4);
+  p.gamma = {2, 2, 2, 2};
+  p.beta = {10, 10, 10, 10};
+  const Matrix<float> y = LayerNorm(x, p);
+  double mean = 0;
+  for (int f = 0; f < 4; ++f) mean += y(0, f);
+  EXPECT_NEAR(mean / 4, 10.0, 1e-2);  // beta shifts the mean
+}
+
+TEST(LayerNorm, FusedEqualsNormThenTranspose) {
+  Rng rng(653);
+  const Matrix<float> x = rng.NormalMatrix(16, 32, 1.0f, 3.0f);
+  LayerNormParams p = UnitParams(32);
+  for (int f = 0; f < 32; ++f) {
+    p.gamma[f] = 0.5f + 0.01f * f;
+    p.beta[f] = -0.2f + 0.02f * f;
+  }
+  const Matrix<float> plain = LayerNorm(x, p);
+  const Matrix<float> fused = LayerNormTransposed(x, p);
+  ASSERT_EQ(fused.rows(), 32);
+  ASSERT_EQ(fused.cols(), 16);
+  for (int t = 0; t < 16; ++t) {
+    for (int f = 0; f < 32; ++f) {
+      EXPECT_EQ(fused(f, t), plain(t, f)) << t << "," << f;
+    }
+  }
+}
+
+TEST(LayerNorm, ParamSizeValidated) {
+  Matrix<float> x(4, 8);
+  EXPECT_THROW(LayerNorm(x, UnitParams(7)), Error);
+  LayerNormParams bad = UnitParams(8);
+  bad.epsilon = 0.0f;
+  EXPECT_THROW(LayerNorm(x, bad), Error);
+}
+
+TEST(LayerNormStats, FusionSavesOneActivationRoundTrip) {
+  const GpuSpec& spec = GetGpuSpec(GpuArch::kV100);
+  const KernelStats fused = LayerNormFusedStats(512, 1024, spec);
+  const KernelStats unfused = LayerNormThenTransposeStats(512, 1024, spec);
+  const double elems = 512.0 * 1024;
+  EXPECT_DOUBLE_EQ(unfused.dram_read_bytes - fused.dram_read_bytes,
+                   elems * 2);
+  EXPECT_DOUBLE_EQ(unfused.dram_write_bytes - fused.dram_write_bytes,
+                   elems * 2);
+  const CostModel model(spec);
+  EXPECT_LT(model.Seconds(fused), model.Seconds(unfused));
+}
+
+}  // namespace
+}  // namespace shflbw

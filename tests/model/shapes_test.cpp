@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "model/gnmt.h"
+#include "model/resnet50.h"
+#include "model/transformer.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Transformer, LayerShapes) {
+  const auto layers = TransformerLayers();
+  const auto counts = TransformerLayerCounts();
+  ASSERT_EQ(layers.size(), counts.size());
+  ASSERT_EQ(layers.size(), 4u);
+  // Base config: d_model=512, d_ff=2048, N=512.
+  EXPECT_EQ(layers[0].m, 1536);  // fused QKV
+  EXPECT_EQ(layers[0].k, 512);
+  EXPECT_EQ(layers[2].m, 2048);  // fc1
+  EXPECT_EQ(layers[3].k, 2048);  // fc2
+  for (const auto& l : layers) {
+    EXPECT_EQ(l.n, 512);
+    EXPECT_GT(l.Flops(), 0.0);
+    // All Ms are multiples of 128 so every kernel (incl. Tilewise V=128)
+    // can run the GEMM layers.
+    EXPECT_EQ(l.m % 128, 0) << l.name;
+  }
+  // 6 encoder + 6 decoder layers; decoder has self+cross attention.
+  EXPECT_EQ(counts[0], 18);
+  EXPECT_EQ(counts[2], 12);
+}
+
+TEST(Gnmt, LayerShapes) {
+  const auto layers = GnmtLayers();
+  const auto counts = GnmtLayerCounts();
+  ASSERT_EQ(layers.size(), counts.size());
+  // LSTM gates: 4*1024 outputs against 2*1024 inputs.
+  EXPECT_EQ(layers[0].m, 4096);
+  EXPECT_EQ(layers[0].k, 2048);
+  EXPECT_EQ(counts[1], 7);  // 8 encoder layers, first listed separately
+  EXPECT_EQ(counts[2], 8);  // decoder layers
+  for (const auto& l : layers) EXPECT_EQ(l.m % 128, 0) << l.name;
+}
+
+TEST(Gnmt, OptionalVocabProjection) {
+  GnmtConfig cfg;
+  cfg.vocab_projection = 32768;
+  const auto layers = GnmtLayers(cfg);
+  EXPECT_EQ(layers.back().m, 32768);
+  EXPECT_EQ(layers.size(), GnmtLayerCounts(cfg).size());
+}
+
+TEST(ResNet50, LayerShapes) {
+  const auto layers = ResNet50Layers();
+  ASSERT_EQ(layers.size(), 12u);  // 4 stages x 3 conv types
+  double total_flops = 0;
+  for (const auto& l : layers) {
+    EXPECT_GT(l.repeat, 0);
+    EXPECT_EQ(l.GemmM(), l.out_c);
+    EXPECT_EQ(l.GemmK(), l.in_c * l.kh * l.kw);
+    EXPECT_GT(l.GemmN(), 0);
+    total_flops += l.Flops();
+  }
+  // ResNet50's bottleneck stages at batch 32 are ~3.8 GFLOPs/image x 32
+  // x 2 (MACs->FLOPs already counted); sanity: order 1e11.
+  EXPECT_GT(total_flops, 5e10);
+  EXPECT_LT(total_flops, 5e12);
+}
+
+TEST(ResNet50, SpatialSizesHalvePerStage) {
+  const auto layers = ResNet50Layers();
+  // conv2 3x3 at 56, conv3 at 28, conv4 at 14, conv5 at 7 (224 input).
+  EXPECT_EQ(layers[1].in_h, 56);
+  EXPECT_EQ(layers[4].in_h, 28);
+  EXPECT_EQ(layers[7].in_h, 14);
+  EXPECT_EQ(layers[10].in_h, 7);
+}
+
+TEST(ResNet50, OutChannelsDivisibleByCommonV) {
+  for (const auto& l : ResNet50Layers()) {
+    EXPECT_EQ(l.out_c % 32, 0) << l.name;
+  }
+}
+
+}  // namespace
+}  // namespace shflbw

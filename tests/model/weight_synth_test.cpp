@@ -1,0 +1,91 @@
+#include "model/weight_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+TEST(WeightSynth, DeterministicWithSeed) {
+  SynthWeightOptions opt;
+  opt.seed = 42;
+  EXPECT_EQ(SynthesizeWeights(32, 32, opt), SynthesizeWeights(32, 32, opt));
+}
+
+TEST(WeightSynth, DifferentSeedsDiffer) {
+  SynthWeightOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_FALSE(SynthesizeWeights(16, 16, a) == SynthesizeWeights(16, 16, b));
+}
+
+TEST(WeightSynth, NoExactZeros) {
+  // Trained dense weights are never exactly zero; neither are ours.
+  const Matrix<float> w = SynthesizeWeights(64, 64);
+  EXPECT_EQ(CountNonZeros(w), w.size());
+}
+
+TEST(WeightSynth, HeavyTailedMagnitudes) {
+  // Kurtosis of the magnitudes should exceed a Gaussian's.
+  const Matrix<float> w = SynthesizeWeights(128, 128);
+  double mean = 0;
+  for (float v : w.storage()) mean += std::fabs(v);
+  mean /= static_cast<double>(w.size());
+  double m2 = 0, m4 = 0;
+  for (float v : w.storage()) {
+    const double d = std::fabs(v) - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(w.size());
+  m4 /= static_cast<double>(w.size());
+  EXPECT_GT(m4 / (m2 * m2), 3.5);  // > Gaussian kurtosis
+}
+
+TEST(WeightSynth, RowTypesCreateColumnStructure) {
+  // Rows of the same latent type share important columns: the max
+  // cosine similarity between row-magnitude profiles across rows must
+  // be much higher than for iid weights.
+  SynthWeightOptions opt;
+  opt.row_types = 4;
+  opt.type_strength = 3.0;
+  opt.noise = 0.2;
+  const Matrix<float> w = SynthesizeWeights(32, 64, opt);
+
+  auto cosine = [&](int r1, int r2) {
+    double dot = 0, n1 = 0, n2 = 0;
+    for (int c = 0; c < w.cols(); ++c) {
+      const double a = std::fabs(w(r1, c));
+      const double b = std::fabs(w(r2, c));
+      dot += a * b;
+      n1 += a * a;
+      n2 += b * b;
+    }
+    return dot / std::sqrt(n1 * n2);
+  };
+  // For each row, its best match should be strongly correlated.
+  double mean_best = 0;
+  for (int r = 0; r < w.rows(); ++r) {
+    double best = 0;
+    for (int o = 0; o < w.rows(); ++o) {
+      if (o != r) best = std::max(best, cosine(r, o));
+    }
+    mean_best += best;
+  }
+  mean_best /= w.rows();
+  EXPECT_GT(mean_best, 0.7);
+}
+
+TEST(WeightSynth, InvalidArgsThrow) {
+  SynthWeightOptions opt;
+  opt.row_types = 0;
+  EXPECT_THROW(SynthesizeWeights(8, 8, opt), Error);
+  EXPECT_THROW(SynthesizeWeights(0, 8), Error);
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,116 @@
+// Finite-difference gradient checks for the training substrate — the
+// backprop must be right or every Table 1 accuracy number is noise.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+
+namespace shflbw {
+namespace {
+
+/// Loss of the model on a fixed tiny batch.
+double LossOf(nn::Mlp& model, const Matrix<float>& x,
+              const std::vector<int>& y) {
+  return nn::SoftmaxCrossEntropy(model.Forward(x), y).loss;
+}
+
+TEST(GradCheck, LinearWeightsMatchFiniteDifference) {
+  Rng rng(269);
+  nn::Mlp model({4, 5, 3}, /*seed=*/11);
+  const Matrix<float> x = rng.NormalMatrix(4, 6);
+  const std::vector<int> y{0, 1, 2, 0, 1, 2};
+
+  // Analytic gradients.
+  const Matrix<float> logits = model.Forward(x);
+  const nn::LossResult lr = nn::SoftmaxCrossEntropy(logits, y);
+  model.Backward(lr.grad_logits);
+
+  const float eps = 1e-3f;
+  for (nn::Linear* layer : model.Layers()) {
+    Matrix<float>& w = layer->weights();
+    const Matrix<float> analytic = layer->grad_weights();
+    // Spot-check a grid of entries (full check is O(params * forward)).
+    for (int r = 0; r < w.rows(); r += 2) {
+      for (int c = 0; c < w.cols(); c += 2) {
+        const float orig = w(r, c);
+        w(r, c) = orig + eps;
+        const double up = LossOf(model, x, y);
+        w(r, c) = orig - eps;
+        const double down = LossOf(model, x, y);
+        w(r, c) = orig;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(analytic(r, c), numeric, 2e-3)
+            << "weight (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(GradCheck, BiasMatchesFiniteDifference) {
+  Rng rng(271);
+  nn::Mlp model({3, 4, 2}, /*seed=*/13);
+  const Matrix<float> x = rng.NormalMatrix(3, 5);
+  const std::vector<int> y{0, 1, 0, 1, 0};
+
+  const nn::LossResult lr = nn::SoftmaxCrossEntropy(model.Forward(x), y);
+  model.Backward(lr.grad_logits);
+
+  const float eps = 1e-3f;
+  for (nn::Linear* layer : model.Layers()) {
+    for (std::size_t i = 0; i < layer->bias().size(); ++i) {
+      const float orig = layer->bias()[i];
+      layer->bias()[i] = orig + eps;
+      const double up = LossOf(model, x, y);
+      layer->bias()[i] = orig - eps;
+      const double down = LossOf(model, x, y);
+      layer->bias()[i] = orig;
+      EXPECT_NEAR(layer->grad_bias()[i], (up - down) / (2.0 * eps), 2e-3);
+    }
+  }
+}
+
+TEST(GradCheck, MaskedWeightsGetZeroGradient) {
+  Rng rng(277);
+  nn::Mlp model({4, 6, 3}, /*seed=*/17);
+  nn::Linear* layer = model.PrunableLayers()[0];
+  Matrix<float> mask(6, 4);
+  mask(0, 0) = 1;  // keep exactly one weight
+  layer->SetMask(mask);
+
+  const Matrix<float> x = rng.NormalMatrix(4, 5);
+  const std::vector<int> y{0, 1, 2, 0, 1};
+  const nn::LossResult lr = nn::SoftmaxCrossEntropy(model.Forward(x), y);
+  model.Backward(lr.grad_logits);
+
+  const Matrix<float>& g = layer->grad_weights();
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      if (r == 0 && c == 0) continue;
+      EXPECT_EQ(g(r, c), 0.0f) << r << "," << c;
+    }
+  }
+}
+
+TEST(GradCheck, SoftmaxGradSumsToZeroPerColumn) {
+  Rng rng(281);
+  const Matrix<float> logits = rng.NormalMatrix(5, 7);
+  std::vector<int> y(7, 2);
+  const nn::LossResult lr = nn::SoftmaxCrossEntropy(logits, y);
+  for (int j = 0; j < 7; ++j) {
+    float sum = 0;
+    for (int i = 0; i < 5; ++i) sum += lr.grad_logits(i, j);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(GradCheck, SoftmaxLossMatchesUniformAtZeroLogits) {
+  const Matrix<float> logits(4, 2);
+  const nn::LossResult lr = nn::SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(lr.loss, std::log(4.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace shflbw

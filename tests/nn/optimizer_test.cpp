@@ -1,0 +1,85 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace shflbw {
+namespace {
+
+nn::SgdOptions NoFrills(float lr) {
+  nn::SgdOptions o;
+  o.lr = lr;
+  o.momentum = 0.0f;
+  o.weight_decay = 0.0f;
+  return o;
+}
+
+TEST(Sgd, PlainStepDescendsGradient) {
+  nn::Linear layer(2, 2, /*seed=*/1);
+  layer.weights() = Matrix<float>(2, 2, {1, 1, 1, 1});
+  layer.grad_weights() = Matrix<float>(2, 2, {1, 0, 0, -1});
+  nn::Sgd sgd({&layer}, NoFrills(0.5f));
+  sgd.Step();
+  EXPECT_EQ(layer.weights(), Matrix<float>(2, 2, {0.5f, 1, 1, 1.5f}));
+  // Gradients zeroed after the step.
+  EXPECT_EQ(layer.grad_weights(), Matrix<float>(2, 2));
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  nn::Linear layer(1, 1, /*seed=*/2);
+  layer.weights() = Matrix<float>(1, 1, {0.0f});
+  nn::SgdOptions o = NoFrills(1.0f);
+  o.momentum = 0.5f;
+  nn::Sgd sgd({&layer}, o);
+  // Two steps with constant gradient 1: velocities 1 then 1.5.
+  layer.grad_weights()(0, 0) = 1.0f;
+  sgd.Step();
+  EXPECT_FLOAT_EQ(layer.weights()(0, 0), -1.0f);
+  layer.grad_weights()(0, 0) = 1.0f;
+  sgd.Step();
+  EXPECT_FLOAT_EQ(layer.weights()(0, 0), -2.5f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  nn::Linear layer(1, 1, /*seed=*/3);
+  layer.weights() = Matrix<float>(1, 1, {2.0f});
+  nn::SgdOptions o = NoFrills(0.1f);
+  o.weight_decay = 0.5f;
+  nn::Sgd sgd({&layer}, o);
+  sgd.Step();  // gradient 0, decay 0.5*2 = 1 -> step -0.1
+  EXPECT_FLOAT_EQ(layer.weights()(0, 0), 1.9f);
+}
+
+TEST(Sgd, MaskedWeightsStayZeroAfterSteps) {
+  nn::Linear layer(2, 2, /*seed=*/4);
+  layer.weights() = Matrix<float>(2, 2, {1, 2, 3, 4});
+  Matrix<float> mask(2, 2, {1, 0, 0, 1});
+  layer.SetMask(mask);
+  nn::SgdOptions o = NoFrills(0.1f);
+  o.momentum = 0.9f;
+  o.weight_decay = 0.1f;
+  nn::Sgd sgd({&layer}, o);
+  for (int i = 0; i < 5; ++i) {
+    layer.grad_weights() = Matrix<float>(2, 2, {1, 1, 1, 1});
+    sgd.Step();
+  }
+  EXPECT_EQ(layer.weights()(0, 1), 0.0f);
+  EXPECT_EQ(layer.weights()(1, 0), 0.0f);
+  EXPECT_NE(layer.weights()(0, 0), 0.0f);
+}
+
+TEST(Sgd, BiasUpdated) {
+  nn::Linear layer(2, 1, /*seed=*/5);
+  layer.bias() = {1.0f, 1.0f};
+  layer.grad_bias() = {2.0f, -2.0f};
+  nn::Sgd sgd({&layer}, NoFrills(0.25f));
+  sgd.Step();
+  EXPECT_FLOAT_EQ(layer.bias()[0], 0.5f);
+  EXPECT_FLOAT_EQ(layer.bias()[1], 1.5f);
+}
+
+TEST(Sgd, NullLayerRejected) {
+  EXPECT_THROW(nn::Sgd({nullptr}), Error);
+}
+
+}  // namespace
+}  // namespace shflbw

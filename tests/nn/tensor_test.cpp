@@ -1,0 +1,56 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace shflbw {
+namespace {
+
+using nn::AddBias;
+using nn::MatMul;
+using nn::MatMulTransA;
+using nn::MatMulTransB;
+using nn::RowSums;
+using nn::Transpose;
+
+TEST(NnTensor, MatMulKnown) {
+  Matrix<float> a(2, 2, {1, 2, 3, 4});
+  Matrix<float> b(2, 2, {5, 6, 7, 8});
+  EXPECT_EQ(MatMul(a, b), Matrix<float>(2, 2, {19, 22, 43, 50}));
+}
+
+TEST(NnTensor, TransposedVariantsConsistent) {
+  Rng rng(257);
+  const Matrix<float> a = rng.NormalMatrix(5, 7);
+  const Matrix<float> b = rng.NormalMatrix(5, 3);
+  const Matrix<float> c = rng.NormalMatrix(4, 7);
+  // A^T * B == MatMul(Transpose(A), B)
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(a, b), MatMul(Transpose(a), b)), 1e-5f);
+  // A * C^T == MatMul(A, Transpose(C)) with A 5x7, C 4x7.
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(a, c), MatMul(a, Transpose(c))), 1e-5f);
+}
+
+TEST(NnTensor, TransposeInvolution) {
+  Rng rng(263);
+  const Matrix<float> a = rng.NormalMatrix(4, 6);
+  EXPECT_EQ(Transpose(Transpose(a)), a);
+}
+
+TEST(NnTensor, AddBiasAndRowSums) {
+  Matrix<float> y(2, 3, {1, 2, 3, 4, 5, 6});
+  AddBias(y, {10, 20});
+  EXPECT_EQ(y, Matrix<float>(2, 3, {11, 12, 13, 24, 25, 26}));
+  const std::vector<float> sums = RowSums(y);
+  EXPECT_FLOAT_EQ(sums[0], 36.0f);
+  EXPECT_FLOAT_EQ(sums[1], 75.0f);
+}
+
+TEST(NnTensor, ShapeMismatchThrows) {
+  EXPECT_THROW(MatMul(Matrix<float>(2, 3), Matrix<float>(4, 2)), Error);
+  Matrix<float> y(2, 2);
+  EXPECT_THROW(AddBias(y, {1, 2, 3}), Error);
+}
+
+}  // namespace
+}  // namespace shflbw

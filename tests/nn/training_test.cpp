@@ -1,0 +1,98 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+nn::DatasetOptions SmallData() {
+  nn::DatasetOptions d;
+  d.num_classes = 4;
+  d.dim = 16;
+  d.train_per_class = 60;
+  d.test_per_class = 25;
+  d.seed = 999;
+  return d;
+}
+
+nn::TrainOptions FastTrain(int epochs) {
+  nn::TrainOptions t;
+  t.epochs = epochs;
+  t.batch_size = 32;
+  t.sgd.lr = 0.1f;
+  return t;
+}
+
+TEST(Training, LearnsAboveChance) {
+  const nn::Dataset data = nn::MakeClusterDataset(SmallData());
+  nn::Mlp model({16, 32, 4}, /*seed=*/21);
+  nn::Trainer trainer(model, data);
+  const double before = trainer.TestAccuracy();
+  trainer.Train(FastTrain(15));
+  const double after = trainer.TestAccuracy();
+  EXPECT_GT(after, 0.7);
+  EXPECT_GT(after, before);
+}
+
+TEST(Training, LossDecreases) {
+  const nn::Dataset data = nn::MakeClusterDataset(SmallData());
+  nn::Mlp model({16, 32, 4}, /*seed=*/23);
+  nn::Trainer trainer(model, data);
+  const double early = trainer.Train(FastTrain(2));
+  const double late = trainer.Train(FastTrain(10));
+  EXPECT_LT(late, early);
+}
+
+TEST(Training, PruneThenFineTuneKeepsMaskAndRecovers) {
+  const nn::Dataset data = nn::MakeClusterDataset(SmallData());
+  nn::Mlp model({16, 32, 4}, /*seed=*/25);
+  nn::Trainer trainer(model, data);
+  trainer.Train(FastTrain(15));
+  const double dense_acc = trainer.TestAccuracy();
+
+  trainer.PruneModel(
+      [](const Matrix<float>& s, double d) {
+        return UnstructuredMask(s, d);
+      },
+      0.5);
+  trainer.Train(FastTrain(8));  // fine-tune
+  const double pruned_acc = trainer.TestAccuracy();
+
+  // Mask held through fine-tuning: exactly half the weights are zero.
+  nn::Linear* layer = model.PrunableLayers()[0];
+  EXPECT_NEAR(Sparsity(layer->weights()), 0.5, 0.02);
+  // Recovery: within a few points of the dense model at 50%.
+  EXPECT_GT(pruned_acc, dense_acc - 0.12);
+}
+
+TEST(Training, GrowAndPruneFineTuneReachesTarget) {
+  const nn::Dataset data = nn::MakeClusterDataset(SmallData());
+  nn::Mlp model({16, 32, 4}, /*seed=*/27);
+  nn::Trainer trainer(model, data);
+  trainer.Train(FastTrain(12));
+  trainer.GrowAndPruneFineTune(
+      [](const Matrix<float>& s, double d) {
+        return VectorWiseMask(s, d, 8);
+      },
+      0.25, /*rounds=*/3, /*grow_ratio=*/0.3, FastTrain(4));
+  nn::Linear* layer = model.PrunableLayers()[0];
+  EXPECT_NEAR(Sparsity(layer->weights()), 0.75, 0.03);
+  EXPECT_GT(trainer.TestAccuracy(), 0.5);
+}
+
+TEST(Training, DeterministicGivenSeeds) {
+  const nn::Dataset data = nn::MakeClusterDataset(SmallData());
+  nn::Mlp m1({16, 24, 4}, /*seed=*/31);
+  nn::Mlp m2({16, 24, 4}, /*seed=*/31);
+  nn::Trainer t1(m1, data), t2(m2, data);
+  t1.Train(FastTrain(5));
+  t2.Train(FastTrain(5));
+  EXPECT_EQ(m1.PrunableLayers()[0]->weights(),
+            m2.PrunableLayers()[0]->weights());
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,91 @@
+#include "prune/admm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Admm, ProjectStepUpdatesDual) {
+  Matrix<float> w(1, 4, {1, 2, 3, 4});
+  Matrix<float> u(1, 4);
+  const auto project = [](const Matrix<float>& m) {
+    return PruneUnstructured(m, 0.5);
+  };
+  const Matrix<float> z = AdmmProjectStep(w, u, project);
+  // Projection keeps 3 and 4.
+  EXPECT_EQ(z, Matrix<float>(1, 4, {0, 0, 3, 4}));
+  // Dual accumulates the infeasibility W - Z.
+  EXPECT_EQ(u, Matrix<float>(1, 4, {1, 2, 0, 0}));
+}
+
+TEST(Admm, RegularizedResultSatisfiesPattern) {
+  Rng rng(211);
+  Matrix<float> w = rng.NormalMatrix(32, 32);
+  const auto project = [](const Matrix<float>& m) {
+    return PruneVectorWise(m, 0.25, 8);
+  };
+  const Matrix<float> out = AdmmRegularize(w, project);
+  // Hard projection at the end: the result is exactly vector-wise.
+  EXPECT_NEAR(1.0 - Sparsity(out), 0.25, 0.02);
+  for (int g = 0; g < 4; ++g) {
+    for (int c = 0; c < 32; ++c) {
+      int nz = 0;
+      for (int r = 0; r < 8; ++r) {
+        if (out(g * 8 + r, c) != 0.0f) ++nz;
+      }
+      EXPECT_TRUE(nz == 0 || nz == 8) << g << "," << c;
+    }
+  }
+}
+
+TEST(Admm, PullsWeightsTowardProjection) {
+  // After regularization, the surviving weights should retain more mass
+  // relative to pruned ones than a straight hard prune of the originals:
+  // the proximal pull shrinks soon-to-be-pruned weights.
+  Rng rng(223);
+  Matrix<float> w = rng.NormalMatrix(64, 64);
+  const auto project = [](const Matrix<float>& m) {
+    return PruneUnstructured(m, 0.25);
+  };
+  AdmmOptions opts;
+  opts.rho = 0.1;
+  opts.iterations = 12;
+  const Matrix<float> out = AdmmRegularize(w, project, opts);
+  EXPECT_NEAR(1.0 - Sparsity(out), 0.25, 0.02);
+}
+
+TEST(Admm, ZeroIterationsIsJustProjection) {
+  Rng rng(227);
+  Matrix<float> w = rng.NormalMatrix(16, 16);
+  const auto project = [](const Matrix<float>& m) {
+    return PruneUnstructured(m, 0.5);
+  };
+  AdmmOptions opts;
+  opts.iterations = 0;
+  EXPECT_EQ(AdmmRegularize(w, project, opts), PruneUnstructured(w, 0.5));
+}
+
+TEST(Admm, InvalidRhoThrows) {
+  Matrix<float> w(4, 4);
+  AdmmOptions opts;
+  opts.rho = 0.0;
+  EXPECT_THROW(
+      AdmmRegularize(w, [](const Matrix<float>& m) { return m; }, opts),
+      Error);
+}
+
+TEST(Admm, ShapeChangingProjectorRejected) {
+  Matrix<float> w(4, 4);
+  Matrix<float> u(4, 4);
+  EXPECT_THROW(
+      AdmmProjectStep(w, u,
+                      [](const Matrix<float>&) { return Matrix<float>(2, 2); }),
+      Error);
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,91 @@
+#include "prune/grow_and_prune.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prune/importance.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+TEST(GrowAndPrune, ScheduleMonotoneAndLandsExactly) {
+  const std::vector<double> d = GrowAndPruneDensities(1.0, 0.2, 5);
+  ASSERT_EQ(d.size(), 5u);
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    EXPECT_LE(d[i], d[i - 1] + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(d.back(), 0.2);
+  EXPECT_LT(d.front(), 1.0);  // prunes from round one
+}
+
+TEST(GrowAndPrune, CubicFrontLoaded) {
+  // The cubic ramp prunes most of the way in the first half of rounds.
+  const std::vector<double> d = GrowAndPruneDensities(1.0, 0.0, 10);
+  EXPECT_LT(d[4], 0.15);  // >85% of the way after half the rounds
+}
+
+TEST(GrowAndPrune, InvalidScheduleThrows) {
+  EXPECT_THROW(GrowAndPruneDensities(0.5, 0.8, 3), Error);
+  EXPECT_THROW(GrowAndPruneDensities(1.0, 0.5, 0), Error);
+}
+
+TEST(GrowAndPrune, RoundRespectsTargetDensity) {
+  Rng rng(229);
+  const Matrix<float> scores = MagnitudeScores(rng.NormalMatrix(32, 32));
+  const Matrix<float> current = UnstructuredMask(scores, 0.5);
+  const auto masker = [](const Matrix<float>& s, double density) {
+    return UnstructuredMask(s, density);
+  };
+  const Matrix<float> next =
+      GrowAndPruneRound(scores, current, 0.25, 0.3, masker);
+  EXPECT_NEAR(1.0 - Sparsity(next), 0.25, 0.01);
+}
+
+TEST(GrowAndPrune, AllowsRecoveryOfStrongPrunedWeights) {
+  // A weight pruned by mistake (strong score, currently masked out) must
+  // be able to displace a weak kept weight.
+  Matrix<float> scores(1, 4, {10, 1, 2, 3});
+  Matrix<float> current(1, 4, {0, 1, 1, 1});  // the 10 is pruned
+  const auto masker = [](const Matrix<float>& s, double density) {
+    return UnstructuredMask(s, density);
+  };
+  const Matrix<float> next =
+      GrowAndPruneRound(scores, current, 0.5, 0.3, masker);
+  EXPECT_EQ(next(0, 0), 1.0f);  // recovered
+}
+
+TEST(GrowAndPrune, KeepBoostStabilizesMask) {
+  // With grow_ratio > 0, a kept weight narrowly ahead of a pruned one
+  // stays kept (hysteresis).
+  Matrix<float> scores(1, 4, {1.0f, 1.05f, 5, 6});
+  Matrix<float> current(1, 4, {1, 0, 1, 1});
+  const auto masker = [](const Matrix<float>& s, double density) {
+    return UnstructuredMask(s, density);
+  };
+  const Matrix<float> next =
+      GrowAndPruneRound(scores, current, 0.75, 0.3, masker);
+  EXPECT_EQ(next(0, 0), 1.0f);  // kept despite slightly lower raw score
+}
+
+TEST(GrowAndPrune, FullScheduleWithPatternConstraint) {
+  Rng rng(233);
+  const Matrix<float> scores = MagnitudeScores(rng.NormalMatrix(64, 64));
+  const auto masker = [](const Matrix<float>& s, double density) {
+    return VectorWiseMask(s, density, 16);
+  };
+  const Matrix<float> mask = GrowAndPruneSchedule(scores, 0.25, masker);
+  EXPECT_NEAR(1.0 - Sparsity(mask), 0.25, 0.01);
+  // Pattern constraint holds on the final mask.
+  for (int g = 0; g < 4; ++g) {
+    for (int c = 0; c < 64; ++c) {
+      float sum = 0;
+      for (int r = 0; r < 16; ++r) sum += mask(g * 16 + r, c);
+      EXPECT_TRUE(sum == 0.0f || sum == 16.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shflbw

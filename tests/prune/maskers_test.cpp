@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "format/balanced24.h"
+#include "format/bsr.h"
+#include "prune/balanced24_prune.h"
+#include "prune/block_wise.h"
+#include "prune/importance.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+TEST(Importance, MagnitudeAndSquared) {
+  Matrix<float> w(1, 3, {-2, 0, 3});
+  EXPECT_EQ(MagnitudeScores(w), Matrix<float>(1, 3, {2, 0, 3}));
+  EXPECT_EQ(SquaredScores(w), Matrix<float>(1, 3, {4, 0, 9}));
+}
+
+TEST(Importance, RetainedScoreRatio) {
+  Matrix<float> scores(1, 4, {1, 2, 3, 4});
+  Matrix<float> mask(1, 4, {0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(RetainedScore(scores, mask), 6.0);
+  EXPECT_DOUBLE_EQ(RetainedScoreRatio(scores, mask), 0.6);
+}
+
+TEST(Unstructured, KeepsExactCountAndTopScores) {
+  Matrix<float> scores(2, 3, {5, 1, 4, 2, 6, 3});
+  const Matrix<float> mask = UnstructuredMask(scores, 0.5);
+  EXPECT_EQ(CountNonZeros(mask), 3u);
+  // Top-3 scores are 6, 5, 4.
+  EXPECT_EQ(mask(0, 0), 1.0f);
+  EXPECT_EQ(mask(1, 1), 1.0f);
+  EXPECT_EQ(mask(0, 2), 1.0f);
+}
+
+TEST(Unstructured, ExtremeDensities) {
+  Matrix<float> scores(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(CountNonZeros(UnstructuredMask(scores, 0.0)), 0u);
+  EXPECT_EQ(CountNonZeros(UnstructuredMask(scores, 1.0)), 4u);
+  EXPECT_THROW(UnstructuredMask(scores, 1.5), Error);
+}
+
+TEST(Unstructured, DeterministicOnTies) {
+  Matrix<float> scores(1, 4, {1, 1, 1, 1});
+  const Matrix<float> a = UnstructuredMask(scores, 0.5);
+  const Matrix<float> b = UnstructuredMask(scores, 0.5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(CountNonZeros(a), 2u);
+}
+
+TEST(BlockWise, ResultIsBlockAligned) {
+  Rng rng(139);
+  const Matrix<float> w = rng.UniformMatrix(64, 64, 0.1f, 1.0f);
+  const Matrix<float> pruned = PruneBlockWise(w, 0.25, 16);
+  EXPECT_TRUE(IsBlockAligned(pruned, 16));
+  EXPECT_NEAR(1.0 - Sparsity(pruned), 0.25, 1e-9);
+}
+
+TEST(BlockWise, KeepsHighestScoringBlocks) {
+  Matrix<float> scores(4, 4);
+  // Block (1,1) has the mass.
+  for (int r = 2; r < 4; ++r) {
+    for (int c = 2; c < 4; ++c) scores(r, c) = 10;
+  }
+  const Matrix<float> mask = BlockWiseMask(scores, 0.25, 2);
+  for (int r = 2; r < 4; ++r) {
+    for (int c = 2; c < 4; ++c) EXPECT_EQ(mask(r, c), 1.0f);
+  }
+  EXPECT_EQ(CountNonZeros(mask), 4u);
+}
+
+TEST(BlockWise, ShapeValidation) {
+  EXPECT_THROW(BlockWiseMask(Matrix<float>(6, 8), 0.5, 4), Error);
+}
+
+TEST(VectorWise, KeepsWholeVectors) {
+  Rng rng(149);
+  const Matrix<float> w = rng.UniformMatrix(32, 32, 0.1f, 1.0f);
+  const Matrix<float> mask =
+      VectorWiseMask(MagnitudeScores(w), 0.25, 8);
+  // Every kept column within a group is fully kept.
+  for (int g = 0; g < 4; ++g) {
+    for (int c = 0; c < 32; ++c) {
+      float sum = 0;
+      for (int r = 0; r < 8; ++r) sum += mask(g * 8 + r, c);
+      EXPECT_TRUE(sum == 0.0f || sum == 8.0f)
+          << "group " << g << " col " << c;
+    }
+  }
+  EXPECT_NEAR(1.0 - Sparsity(mask), 0.25, 1e-9);
+}
+
+TEST(VectorWise, GlobalSelectionAcrossGroups) {
+  // One group has all the mass: at 50% density it should keep (nearly)
+  // all its vectors while the weak group keeps (nearly) none.
+  Matrix<float> scores(4, 4);
+  for (int c = 0; c < 4; ++c) {
+    scores(0, c) = scores(1, c) = 100;  // group 0 rows
+    scores(2, c) = scores(3, c) = 0.01f;
+  }
+  const Matrix<float> mask = VectorWiseMask(scores, 0.5, 2);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(mask(0, c), 1.0f);
+    EXPECT_EQ(mask(2, c), 0.0f);
+  }
+}
+
+TEST(Balanced24Prune, SatisfiesConstraintAndKeepsTop2) {
+  Matrix<float> w(1, 4, {0.1f, -5, 3, 0.2f});
+  const Matrix<float> pruned = PruneBalanced24(w);
+  EXPECT_TRUE(Satisfies24(pruned));
+  EXPECT_EQ(pruned(0, 1), -5.0f);
+  EXPECT_EQ(pruned(0, 2), 3.0f);
+  EXPECT_EQ(pruned(0, 0), 0.0f);
+  EXPECT_EQ(pruned(0, 3), 0.0f);
+}
+
+TEST(Balanced24Prune, ExactlyHalfDensity) {
+  Rng rng(151);
+  const Matrix<float> w = rng.UniformMatrix(16, 32, 0.1f, 1.0f);
+  EXPECT_DOUBLE_EQ(Sparsity(PruneBalanced24(w)), 0.5);
+}
+
+// Retained-score dominance: looser structure always retains at least as
+// much importance (the Fig. 3 flexibility ordering, measured).
+TEST(MaskerProperty, RetentionOrderingUnstructuredVsStructured) {
+  Rng rng(157);
+  const Matrix<float> scores =
+      MagnitudeScores(rng.NormalMatrix(128, 128));
+  // Densities chosen so the kept-weight budgets of the three
+  // granularities round to exactly the same count (otherwise the
+  // comparison is between different budgets, not different patterns).
+  for (double density : {0.5, 0.25, 0.125}) {
+    const double unstructured = RetainedScoreRatio(
+        scores, UnstructuredMask(scores, density));
+    const double vw =
+        RetainedScoreRatio(scores, VectorWiseMask(scores, density, 32));
+    const double bw =
+        RetainedScoreRatio(scores, BlockWiseMask(scores, density, 32));
+    EXPECT_GE(unstructured, vw) << density;
+    EXPECT_GE(vw, bw) << density;
+  }
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,110 @@
+// Property tests of the Table 1 quality ordering over a grid of shapes,
+// densities and V — Shfl-BW must dominate vector-wise, which must
+// dominate block-wise, on realistically-clustered weights.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "model/weight_synth.h"
+#include "prune/block_wise.h"
+#include "prune/importance.h"
+#include "prune/shfl_bw_search.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+struct QualityCase {
+  int m, k, v;
+  double density;
+};
+
+class QualityOrdering : public ::testing::TestWithParam<QualityCase> {};
+
+TEST_P(QualityOrdering, ShflBwBetweenUnstructuredAndBlockWise) {
+  const QualityCase& c = GetParam();
+  SynthWeightOptions opt;
+  opt.row_types = 8;
+  opt.seed = 3000 + c.m + c.v;
+  const Matrix<float> w = SynthesizeWeights(c.m, c.k, opt);
+  const Matrix<float> scores = MagnitudeScores(w);
+
+  const double unstructured =
+      RetainedScoreRatio(scores, UnstructuredMask(scores, c.density));
+  const double shflbw = RetainedScoreRatio(
+      scores, ShflBwSearch(scores, c.density, c.v).mask);
+  const double vw =
+      RetainedScoreRatio(scores, VectorWiseMask(scores, c.density, c.v));
+  const double bw =
+      RetainedScoreRatio(scores, BlockWiseMask(scores, c.density, c.v));
+
+  // Hard bounds: unstructured is the ceiling; BW is a subset of VW's
+  // feasible set.
+  EXPECT_GE(unstructured, shflbw - 1e-9);
+  EXPECT_GE(vw, bw - 1e-9);
+  // The paper's ordering (small slack for the heuristic search).
+  EXPECT_GE(shflbw, vw * 0.99)
+      << "m=" << c.m << " v=" << c.v << " density=" << c.density;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QualityOrdering,
+    ::testing::Values(QualityCase{128, 128, 32, 0.2},
+                      QualityCase{128, 128, 32, 0.1},
+                      QualityCase{128, 128, 64, 0.2},
+                      QualityCase{256, 128, 32, 0.25},
+                      QualityCase{256, 192, 64, 0.1},
+                      QualityCase{64, 256, 16, 0.2},
+                      QualityCase{128, 64, 32, 0.5}));
+
+// Table 1's second observation: Shfl-BW at V=64 can beat plain
+// vector-wise at the SMALLER V=32 — the shuffle recovers more than the
+// coarser granularity costs.
+TEST(QualityOrdering, ShflBwV64VsVectorWiseV32) {
+  SynthWeightOptions opt;
+  opt.row_types = 8;
+  opt.type_strength = 2.5;
+  opt.seed = 239;
+  const Matrix<float> w = SynthesizeWeights(256, 256, opt);
+  const Matrix<float> scores = MagnitudeScores(w);
+  const double density = 0.2;
+  const double shflbw64 = RetainedScoreRatio(
+      scores, ShflBwSearch(scores, density, 64).mask);
+  const double vw32 =
+      RetainedScoreRatio(scores, VectorWiseMask(scores, density, 32));
+  EXPECT_GT(shflbw64, vw32 * 0.98);
+}
+
+// Retention degrades monotonically as V grows (for a fixed pattern).
+TEST(QualityOrdering, RetentionMonotoneInV) {
+  SynthWeightOptions opt;
+  opt.seed = 241;
+  const Matrix<float> w = SynthesizeWeights(256, 256, opt);
+  const Matrix<float> scores = MagnitudeScores(w);
+  double prev = 1.0;
+  for (int v : {8, 16, 32, 64, 128}) {
+    const double r =
+        RetainedScoreRatio(scores, VectorWiseMask(scores, 0.25, v));
+    EXPECT_LE(r, prev + 0.02) << "v=" << v;
+    prev = r;
+  }
+}
+
+// Retention degrades monotonically with sparsity.
+TEST(QualityOrdering, RetentionMonotoneInSparsity) {
+  SynthWeightOptions opt;
+  opt.seed = 251;
+  const Matrix<float> w = SynthesizeWeights(128, 128, opt);
+  const Matrix<float> scores = MagnitudeScores(w);
+  double prev = 1.0;
+  for (double density : {0.5, 0.25, 0.2, 0.15, 0.1, 0.05}) {
+    const double r = RetainedScoreRatio(
+        scores, ShflBwSearch(scores, density, 32).mask);
+    EXPECT_LT(r, prev + 1e-9) << "density=" << density;
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,82 @@
+#include "prune/taylor_importance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "prune/importance.h"
+#include "prune/shfl_bw_search.h"
+#include "prune/unstructured.h"
+
+namespace shflbw {
+namespace {
+
+TEST(TaylorScores, ElementwiseDefinition) {
+  Matrix<float> w(1, 3, {2, -3, 0.5f});
+  Matrix<float> g(1, 3, {-1, 2, 4});
+  EXPECT_EQ(TaylorScores(w, g), Matrix<float>(1, 3, {2, 6, 2}));
+}
+
+TEST(TaylorScores, ShapeMismatchThrows) {
+  EXPECT_THROW(TaylorScores(Matrix<float>(2, 2), Matrix<float>(2, 3)),
+               Error);
+}
+
+TEST(TaylorScores, ZeroGradientMeansZeroImportance) {
+  // A weight the loss does not depend on gets zero Taylor score even if
+  // its magnitude is huge — the key difference from |w| scoring.
+  Matrix<float> w(1, 2, {100.0f, 0.01f});
+  Matrix<float> g(1, 2, {0.0f, 5.0f});
+  const Matrix<float> s = TaylorScores(w, g);
+  EXPECT_EQ(s(0, 0), 0.0f);
+  EXPECT_GT(s(0, 1), 0.0f);
+}
+
+TEST(BlendedScores, EndpointsMatchComponents) {
+  Rng rng(761);
+  const Matrix<float> w = rng.NormalMatrix(4, 4);
+  const Matrix<float> g = rng.NormalMatrix(4, 4);
+  // mix=0: proportional to |w|; mix=1: proportional to |w.*g|. The
+  // masks they induce must match the pure criteria.
+  const Matrix<float> m0 =
+      UnstructuredMask(BlendedScores(w, g, 0.0), 0.5);
+  const Matrix<float> m0_ref = UnstructuredMask(MagnitudeScores(w), 0.5);
+  EXPECT_EQ(m0, m0_ref);
+  const Matrix<float> m1 =
+      UnstructuredMask(BlendedScores(w, g, 1.0), 0.5);
+  const Matrix<float> m1_ref = UnstructuredMask(TaylorScores(w, g), 0.5);
+  EXPECT_EQ(m1, m1_ref);
+  EXPECT_THROW(BlendedScores(w, g, 1.5), Error);
+}
+
+TEST(TaylorScores, PlugsIntoShflBwSearch) {
+  // The §5 search is score-agnostic: run it on Taylor scores gathered
+  // from a real backward pass.
+  Rng rng(769);
+  nn::Mlp model({8, 16, 4}, /*seed=*/91);
+  const Matrix<float> x = rng.NormalMatrix(8, 12);
+  std::vector<int> y(12);
+  for (int i = 0; i < 12; ++i) y[i] = i % 4;
+  const nn::LossResult lr = nn::SoftmaxCrossEntropy(model.Forward(x), y);
+  model.Backward(lr.grad_logits);
+
+  nn::Linear* layer = model.PrunableLayers()[0];
+  const Matrix<float> scores =
+      TaylorScores(layer->weights(), layer->grad_weights());
+  const ShflBwSearchResult r = ShflBwSearch(scores, 0.25, 4);
+  EXPECT_NEAR(1.0 - Sparsity(r.mask), 0.25, 0.05);
+  // The mask respects the Shfl-BW structure regardless of score source.
+  for (int g = 0; g < 4; ++g) {
+    for (int c = 0; c < 8; ++c) {
+      float sum = 0;
+      for (int i = 0; i < 4; ++i) {
+        sum += r.mask(r.storage_to_original[g * 4 + i], c);
+      }
+      EXPECT_TRUE(sum == 0.0f || sum == 4.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shflbw
