@@ -1,5 +1,6 @@
 #include "common/fp16.h"
 
+#include <array>
 #include <bit>
 #include <cstring>
 #include <ostream>
@@ -8,7 +9,6 @@ namespace shflbw {
 namespace {
 
 std::uint32_t FloatBits(float f) { return std::bit_cast<std::uint32_t>(f); }
-float BitsFloat(std::uint32_t u) { return std::bit_cast<float>(u); }
 
 }  // namespace
 
@@ -59,29 +59,26 @@ std::uint16_t Fp16::FromFloat(float f) {
   return static_cast<std::uint16_t>(sign | h);
 }
 
-float Fp16::ToFloatImpl(std::uint16_t bits) {
-  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
-  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
-  const std::uint32_t mant = bits & 0x3FFu;
+namespace detail {
+namespace {
 
-  if (exp == 0x1Fu) {  // Inf / NaN
-    return BitsFloat(sign | 0x7F800000u | (mant << 13));
+constexpr std::array<float, 65536> BuildDecodeTable() {
+  std::array<float, 65536> t{};
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    t[b] = Fp16::DecodeReference(static_cast<std::uint16_t>(b));
   }
-  if (exp == 0) {
-    if (mant == 0) return BitsFloat(sign);  // +-0
-    // Subnormal: value = mant * 2^-24. Normalize into fp32.
-    int e = -1;
-    std::uint32_t m = mant;
-    do {
-      ++e;
-      m <<= 1;
-    } while ((m & 0x400u) == 0);
-    const std::uint32_t exp32 = (127 - 15 - e) << 23;
-    return BitsFloat(sign | exp32 | ((m & 0x3FFu) << 13));
-  }
-  const std::uint32_t exp32 = (exp - 15 + 127) << 23;
-  return BitsFloat(sign | exp32 | (mant << 13));
+  return t;
 }
+
+}  // namespace
+
+// `constinit` guarantees the table is built at compile time (no dynamic
+// initializer), so it is valid during any other translation unit's
+// static initialization — no init-order hazard for the inline ToFloat().
+alignas(64) constinit const std::array<float, 65536> kFp16DecodeTable =
+    BuildDecodeTable();
+
+}  // namespace detail
 
 std::ostream& operator<<(std::ostream& os, Fp16 h) {
   return os << h.ToFloat();

@@ -8,10 +8,20 @@
 // loading an fp16 operand into a tensor-core fragment.
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 
 namespace shflbw {
+
+namespace detail {
+/// 65536-entry fp16 -> fp32 decode table. Constant-initialized (the
+/// initializer is a constexpr call), so it is valid before any dynamic
+/// initialization runs and Fp16::ToFloat() is a single indexed load.
+extern const std::array<float, 65536> kFp16DecodeTable;
+}  // namespace detail
 
 /// Half-precision float stored as its 16-bit pattern. Round-to-nearest-even
 /// on conversion from float. Supports subnormals, infinities and NaN.
@@ -29,8 +39,38 @@ class Fp16 {
   }
 
   /// Widens to float (exact: every fp16 value is representable in fp32).
-  float ToFloat() const { return ToFloatImpl(bits_); }
+  /// Table lookup — the hot-path decode used inside kernel loops.
+  float ToFloat() const { return detail::kFp16DecodeTable[bits_]; }
   explicit operator float() const { return ToFloat(); }
+
+  /// Arithmetic (bit-manipulation) decoder the table is built from.
+  /// Slow path; exists so tests can prove the table matches it
+  /// bit-for-bit over every pattern, and so benchmarks can replicate
+  /// the pre-table hot path.
+  static constexpr float DecodeReference(std::uint16_t bits) {
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u)
+                               << 16;
+    const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+    const std::uint32_t mant = bits & 0x3FFu;
+
+    if (exp == 0x1Fu) {  // Inf / NaN
+      return std::bit_cast<float>(sign | 0x7F800000u | (mant << 13));
+    }
+    if (exp == 0) {
+      if (mant == 0) return std::bit_cast<float>(sign);  // +-0
+      // Subnormal: value = mant * 2^-24. Normalize into fp32.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      const std::uint32_t exp32 = (127 - 15 - e) << 23;
+      return std::bit_cast<float>(sign | exp32 | ((m & 0x3FFu) << 13));
+    }
+    const std::uint32_t exp32 = (exp - 15 + 127) << 23;
+    return std::bit_cast<float>(sign | exp32 | (mant << 13));
+  }
 
   constexpr std::uint16_t bits() const { return bits_; }
 
@@ -66,7 +106,6 @@ class Fp16 {
 
  private:
   static std::uint16_t FromFloat(float f);
-  static float ToFloatImpl(std::uint16_t bits);
 
   std::uint16_t bits_ = 0;
 };
@@ -77,6 +116,27 @@ std::ostream& operator<<(std::ostream& os, Fp16 h);
 /// fp16 operands are widened exactly, the product and sum are fp32.
 inline float FmaF16F32(Fp16 a, Fp16 b, float acc) {
   return acc + a.ToFloat() * b.ToFloat();
+}
+
+/// Batch decode: widens n fp16 values into a contiguous float array
+/// (table lookups). Used to hoist operand decoding out of MMA loops.
+inline void DecodeRows(const Fp16* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i].ToFloat();
+}
+
+/// Batch encode: rounds n floats to fp16 (round-to-nearest-even).
+inline void EncodeRows(const float* src, Fp16* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = Fp16(src[i]);
+}
+
+/// The value a tensor-core fragment load observes for a float operand:
+/// rounded to fp16, then widened exactly.
+inline float RoundToFp16(float f) { return Fp16(f).ToFloat(); }
+
+/// Batch fused round-trip (EncodeRows + DecodeRows without the staging
+/// array): fp16-rounds n floats in place of the fragment load.
+inline void RoundRows(const float* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = RoundToFp16(src[i]);
 }
 
 }  // namespace shflbw

@@ -79,18 +79,24 @@ class Matrix {
 /// Lossy elementwise conversion float -> fp16 (round-to-nearest-even).
 inline Matrix<Fp16> ToFp16(const Matrix<float>& m) {
   Matrix<Fp16> out(m.rows(), m.cols());
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    out.storage()[i] = Fp16(m.storage()[i]);
-  }
+  EncodeRows(m.data(), out.data(), m.size());
+  return out;
+}
+
+/// Elementwise fp16 round-trip: every entry is rounded to fp16 and
+/// widened back, yielding the values a tensor-core fragment load would
+/// observe. Kernels pre-round whole operands once with this so their
+/// inner loops run pure float FMA.
+inline Matrix<float> RoundThroughFp16(const Matrix<float>& m) {
+  Matrix<float> out(m.rows(), m.cols());
+  RoundRows(m.data(), out.data(), m.size());
   return out;
 }
 
 /// Exact elementwise widening fp16 -> float.
 inline Matrix<float> ToFloat(const Matrix<Fp16>& m) {
   Matrix<float> out(m.rows(), m.cols());
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    out.storage()[i] = m.storage()[i].ToFloat();
-  }
+  DecodeRows(m.data(), out.data(), m.size());
   return out;
 }
 

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shflbw {
+namespace {
+
+std::atomic<int> g_thread_override{0};
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int EnvThreads() {
+  const char* s = std::getenv("SHFLBW_NUM_THREADS");
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || v < 1) return 0;  // malformed or non-positive: ignore
+  return static_cast<int>(std::min<long>(v, 1024));
+}
+
+}  // namespace
+
+int ParallelThreadCount() {
+  const int forced = g_thread_override.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  const int env = EnvThreads();
+  if (env > 0) return env;
+  return HardwareThreads();
+}
+
+void SetParallelThreads(int n) {
+  g_thread_override.store(std::max(0, n), std::memory_order_relaxed);
+}
+
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t chunks = (end - begin + grain - 1) / grain;
+  const int threads =
+      static_cast<int>(std::min<std::int64_t>(ParallelThreadCount(), chunks));
+  if (threads <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto drain = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::int64_t lo = begin + c * grain;
+      const std::int64_t hi = std::min(end, lo + grain);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) {
+    try {
+      team.emplace_back(drain);
+    } catch (const std::system_error&) {
+      // Thread exhaustion: degrade to however many workers spawned
+      // (the caller drains too) instead of letting joinable threads
+      // unwind into std::terminate.
+      break;
+    }
+  }
+  drain();
+  for (std::thread& th : team) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace shflbw

@@ -1,0 +1,43 @@
+// Fork-join parallelism for the functional kernel simulators.
+//
+// The paper's kernels expose their parallelism as independent output
+// tiles: every (row-group x column-tile) pair can retire on any SM in
+// any order because output regions are disjoint (§4.1). ParallelFor is
+// the CPU analogue — a work queue of [begin, end) index chunks drained
+// by a team of std::threads. Callers must guarantee that distinct
+// indices touch disjoint output, which also makes the parallel result
+// bit-identical to the serial one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace shflbw {
+
+/// Number of worker threads ParallelFor will use, resolved in priority
+/// order: SetParallelThreads override > SHFLBW_NUM_THREADS env var >
+/// std::thread::hardware_concurrency() (never less than 1).
+int ParallelThreadCount();
+
+/// Programmatic thread-count override (takes precedence over the env
+/// var). Pass 0 to clear the override and return to env/auto detection.
+/// Used by benchmarks and the determinism tests to sweep thread counts.
+void SetParallelThreads(int n);
+
+/// Runs fn over [begin, end) split into chunks of at most `grain`
+/// indices. Chunks are handed out dynamically (atomic counter), so the
+/// schedule load-balances ragged work; fn(lo, hi) receives a half-open
+/// subrange. Runs serially (on the calling thread, no spawn) when the
+/// resolved thread count is 1 or the range fits in a single chunk.
+/// The first exception thrown by any chunk is rethrown on the caller.
+///
+/// Workers are forked per call and joined before return (no persistent
+/// pool): kernel invocations are ms-scale, so spawn cost is noise there,
+/// and a fork-join lifetime keeps thread-count changes (env/override
+/// between calls) and error handling trivial. If profiles ever show the
+/// spawn dominating (many tiny layers per forward pass), a lazily-grown
+/// persistent pool can replace the internals behind this same signature.
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace shflbw

@@ -1,6 +1,7 @@
 #include "kernels/conv2d.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "kernels/gemm_dense.h"
 #include "kernels/spmm_shfl_bw.h"
 
@@ -13,7 +14,9 @@ Matrix<float> Im2Col(const Tensor4& input, const ConvShape& shape) {
   const int oh = shape.OutH();
   const int ow = shape.OutW();
   Matrix<float> b(shape.GemmK(), shape.GemmN());
-  for (int ci = 0; ci < shape.in_c; ++ci) {
+  // Input channels write disjoint row bands of the unfolded matrix, so
+  // the unfold runs channel-parallel.
+  auto unfold_channel = [&](int ci) {
     for (int r = 0; r < shape.kh; ++r) {
       for (int s = 0; s < shape.kw; ++s) {
         const int row = (ci * shape.kh + r) * shape.kw + s;
@@ -31,7 +34,13 @@ Matrix<float> Im2Col(const Tensor4& input, const ConvShape& shape) {
         }
       }
     }
-  }
+  };
+  ParallelFor(0, shape.in_c, /*grain=*/1,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t ci = lo; ci < hi; ++ci) {
+                  unfold_channel(static_cast<int>(ci));
+                }
+              });
   return b;
 }
 

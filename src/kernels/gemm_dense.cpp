@@ -1,7 +1,10 @@
 #include "kernels/gemm_dense.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/thread_pool.h"
 
 namespace shflbw {
 
@@ -12,15 +15,25 @@ Matrix<float> GemmReference(const Matrix<float>& a, const Matrix<float>& b) {
                                              << b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   Matrix<float> c(m, n);
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      float acc = 0.0f;
+  // Pre-round both operands through fp16 once; each output row then
+  // accumulates pure float FMA in ascending-k order, rows in parallel
+  // (bit-identical to the serial elementwise version).
+  const Matrix<float> ah = RoundThroughFp16(a);
+  const Matrix<float> bh = RoundThroughFp16(b);
+  ParallelFor(0, m, /*grain=*/4, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> acc(static_cast<std::size_t>(n));
+    for (std::int64_t i = lo; i < hi; ++i) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      const float* arow = ah.row(static_cast<int>(i));
       for (int kk = 0; kk < k; ++kk) {
-        acc = FmaF16F32(Fp16(a(i, kk)), Fp16(b(kk, j)), acc);
+        const float av = arow[kk];
+        const float* brow = bh.row(kk);
+        for (int j = 0; j < n; ++j) acc[j] += av * brow[j];
       }
-      c(i, j) = Fp16(acc).ToFloat();
+      float* crow = c.row(static_cast<int>(i));
+      for (int j = 0; j < n; ++j) crow[j] = RoundToFp16(acc[j]);
     }
-  }
+  });
   return c;
 }
 

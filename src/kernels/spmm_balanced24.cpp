@@ -1,7 +1,10 @@
 #include "kernels/spmm_balanced24.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/thread_pool.h"
 
 namespace shflbw {
 
@@ -47,22 +50,28 @@ KernelResult SpmmBalanced24(const Balanced24Matrix& a, const Matrix<float>& b,
   r.c = Matrix<float>(a.rows, n);
   // Operand selection + MMA: for each quad, the two kept values multiply
   // the B rows their metadata points at (ascending position within the
-  // quad == ascending K).
-  for (int row = 0; row < a.rows; ++row) {
-    for (int j = 0; j < n; ++j) {
-      float acc = 0.0f;
+  // quad == ascending K). Rows are independent and run in parallel over
+  // pre-rounded operands.
+  std::vector<float> vals(a.values.size());
+  RoundRows(a.values.data(), vals.data(), vals.size());
+  const Matrix<float> bh = RoundThroughFp16(b);
+  ParallelFor(0, a.rows, /*grain=*/8, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> acc(static_cast<std::size_t>(n));
+    for (std::int64_t row = lo; row < hi; ++row) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
       std::size_t slot = static_cast<std::size_t>(row) * a.cols / 2;
       for (int q = 0; q < a.QuadsPerRow(); ++q) {
         for (int ss = 0; ss < 2; ++ss, ++slot) {
-          const float v = a.values[slot];
-          if (v == 0.0f) continue;  // padding slot
-          const int kk = q * 4 + a.meta[slot];
-          acc = FmaF16F32(Fp16(v), Fp16(b(kk, j)), acc);
+          if (a.values[slot] == 0.0f) continue;  // padding slot
+          const float v = vals[slot];
+          const float* brow = bh.row(q * 4 + a.meta[slot]);
+          for (int j = 0; j < n; ++j) acc[j] += v * brow[j];
         }
       }
-      r.c(row, j) = Fp16(acc).ToFloat();
+      float* crow = r.c.row(static_cast<int>(row));
+      for (int j = 0; j < n; ++j) crow[j] = RoundToFp16(acc[j]);
     }
-  }
+  });
   r.stats = SpmmBalanced24Stats(a.rows, n, a.cols, spec);
   return r;
 }

@@ -1,7 +1,10 @@
 #include "kernels/spmm_bsr.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/thread_pool.h"
 
 namespace shflbw {
 
@@ -49,24 +52,33 @@ KernelResult SpmmBsr(const BsrMatrix& a, const Matrix<float>& b,
   KernelResult r;
   r.c = Matrix<float>(a.rows, n);
   // Block-row schedule: accumulate dense V x V blocks in ascending
-  // block-column order (== ascending K).
-  for (int br = 0; br < a.BlockRows(); ++br) {
-    for (int rr = 0; rr < v; ++rr) {
-      const int row = br * v + rr;
-      for (int j = 0; j < n; ++j) {
-        float acc = 0.0f;
+  // block-column order (== ascending K). Block rows are independent
+  // output strips, so they run in parallel over pre-rounded operands.
+  std::vector<float> vals(a.values.size());
+  RoundRows(a.values.data(), vals.data(), vals.size());
+  const Matrix<float> bh = RoundThroughFp16(b);
+  ParallelFor(0, a.BlockRows(), /*grain=*/1,
+              [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> acc(static_cast<std::size_t>(n));
+    for (std::int64_t br = lo; br < hi; ++br) {
+      for (int rr = 0; rr < v; ++rr) {
+        const int row = static_cast<int>(br) * v + rr;
+        std::fill(acc.begin(), acc.end(), 0.0f);
         for (int i = a.block_row_ptr[br]; i < a.block_row_ptr[br + 1]; ++i) {
           const int bc = a.block_col_idx[i];
           const float* block =
-              &a.values[static_cast<std::size_t>(i) * v * v + rr * v];
+              &vals[static_cast<std::size_t>(i) * v * v + rr * v];
           for (int cc = 0; cc < v; ++cc) {
-            acc = FmaF16F32(Fp16(block[cc]), Fp16(b(bc * v + cc, j)), acc);
+            const float av = block[cc];
+            const float* brow = bh.row(bc * v + cc);
+            for (int j = 0; j < n; ++j) acc[j] += av * brow[j];
           }
         }
-        r.c(row, j) = Fp16(acc).ToFloat();
+        float* crow = r.c.row(row);
+        for (int j = 0; j < n; ++j) crow[j] = RoundToFp16(acc[j]);
       }
     }
-  }
+  });
   r.stats = SpmmBsrStats(a.rows, n, a.cols, a.NnzBlocks(), v, spec, cfg);
   return r;
 }

@@ -17,4 +17,11 @@ KernelResult SpmmCsrScalar(const CsrMatrix& a, const Matrix<float>& b,
 KernelStats SpmmCsrScalarStats(int m, int n, int k, double nnz,
                                const GpuSpec& spec);
 
+/// Shared row-parallel CSR gather-accumulate: pre-rounds both operands
+/// through fp16 once, then accumulates each output row in ascending
+/// column order (pure float FMA). Functional core of both the scalar
+/// cuSPARSE baseline and the Sputnik kernel — they differ only in the
+/// modelled stats.
+Matrix<float> RunCsrRowParallel(const CsrMatrix& a, const Matrix<float>& b);
+
 }  // namespace shflbw

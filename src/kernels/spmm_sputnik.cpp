@@ -1,7 +1,7 @@
 #include "kernels/spmm_sputnik.h"
 
 #include "common/check.h"
-#include "common/fp16.h"
+#include "kernels/spmm_csr.h"
 
 namespace shflbw {
 
@@ -38,23 +38,13 @@ KernelStats SpmmSputnikStats(int m, int n, int k, double nnz,
 
 KernelResult SpmmSputnik(const CsrMatrix& a, const Matrix<float>& b,
                          const GpuSpec& spec) {
-  SHFLBW_CHECK_MSG(a.cols == b.rows(), "SpMM shape mismatch");
-  const int n = b.cols();
+  // Row-split schedule: each "subwarp" owns one row; functionally this
+  // is the shared row-parallel CSR gather-accumulate (ascending column
+  // order, bit-identical to the dense reference on the masked matrix).
+  // Sputnik differs from the scalar baseline only in its traffic model.
   KernelResult r;
-  r.c = Matrix<float>(a.rows, n);
-  // Row-split schedule: each "subwarp" owns one row; functionally this is
-  // a gather-accumulate in ascending column order (bit-identical to the
-  // dense reference on the masked matrix).
-  for (int row = 0; row < a.rows; ++row) {
-    for (int j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (int i = a.row_ptr[row]; i < a.row_ptr[row + 1]; ++i) {
-        acc = FmaF16F32(Fp16(a.values[i]), Fp16(b(a.col_idx[i], j)), acc);
-      }
-      r.c(row, j) = Fp16(acc).ToFloat();
-    }
-  }
-  r.stats = SpmmSputnikStats(a.rows, n, a.cols, a.Nnz(), spec);
+  r.c = RunCsrRowParallel(a, b);
+  r.stats = SpmmSputnikStats(a.rows, b.cols(), a.cols, a.Nnz(), spec);
   return r;
 }
 

@@ -19,7 +19,9 @@ TileConfig TilewiseConfig() {
 void ApplyLaunchModel(KernelStats& s, int groups) {
   // One dense-GEMM launch per kept row-group tile, issued round-robin
   // over a fixed stream pool. Stream sync + launch overheads are what
-  // sink this approach at real layer shapes.
+  // sink this approach at real layer shapes. (Functional execution goes
+  // through the shared tile-parallel VW engine — the launch overhead is
+  // a property of the modelled GPU schedule, not of the simulator.)
   s.num_kernel_launches = std::max(1, groups);
   s.num_streams = kTilewiseStreams;
 }

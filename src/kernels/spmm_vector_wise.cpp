@@ -1,9 +1,12 @@
 #include "kernels/spmm_vector_wise.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <numeric>
 
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/thread_pool.h"
 
 namespace shflbw {
 
@@ -66,6 +69,163 @@ KernelStats VwFamilyStats(int m, int n, int k,
   return s;
 }
 
+namespace {
+
+/// Per-thread reusable scratch for one output tile: the software-pipeline
+/// ring (Fig. 4(d)) and the fp32 accumulator. Stage buffers hold fp16
+/// values already widened to float (decoded once per stitch), so the MMA
+/// loop is pure float FMA over contiguous arrays.
+struct TileScratch {
+  struct Stage {
+    std::vector<float> a_tile;  // v * tk, vector-major, fp16-rounded
+    std::vector<float> b_tile;  // tk * tn, fp16-rounded
+    int valid_k = 0;            // kept vectors in this step (<= tk)
+  };
+  std::vector<Stage> stages;
+  std::vector<float> acc;  // v * tn fp32 accumulators (register file)
+
+  void Prepare(int v, int tk, int tn, int num_stages) {
+    stages.resize(static_cast<std::size_t>(num_stages));
+    const std::size_t a_size = static_cast<std::size_t>(v) * tk;
+    const std::size_t b_size = static_cast<std::size_t>(tk) * tn;
+    for (Stage& s : stages) {
+      if (s.a_tile.size() != a_size) s.a_tile.assign(a_size, 0.0f);
+      if (s.b_tile.size() != b_size) s.b_tile.assign(b_size, 0.0f);
+      s.valid_k = 0;
+    }
+    // The accumulator must start at zero for every tile; the stage
+    // buffers are fully rewritten by each stitch before the MMA reads
+    // them, so they carry over between tiles.
+    acc.assign(static_cast<std::size_t>(v) * tn, 0.0f);
+  }
+};
+
+TileScratch& LocalTileScratch() {
+  thread_local TileScratch scratch;
+  return scratch;
+}
+
+/// Executes one (row-group, column-tile) work item: the pipelined
+/// stitch + MMA loop of Alg. 1 followed by the write-back. Output rows
+/// row_map[g*v + r], columns [j0, j0+jw) — disjoint across work items,
+/// which is what makes the parallel schedule bit-identical to serial.
+/// a_vals / bh are the operands already rounded through fp16 (done once
+/// per kernel call), so the stitch is a pure copy.
+void ExecuteVwTile(const VectorWiseMatrix& a, const std::vector<float>& a_vals,
+                   const std::vector<int>& row_map, const Matrix<float>& bh,
+                   const TileConfig& cfg, int tn, int g, int j0,
+                   TileScratch& scratch, Matrix<float>& c,
+                   std::vector<PipelineEvent>* pipeline_trace) {
+  const int n = bh.cols();
+  const int v = a.v;
+  const int jw = std::min(tn, n - j0);
+  const int base = a.group_col_ptr[g];
+  const int kept = a.KeptColumnsInGroup(g);
+  const int total_step =
+      static_cast<int>(std::ceil(static_cast<double>(kept) / cfg.tk));
+  float* acc = scratch.acc.data();
+
+  // Metadata queue: BulkLoadMeta fetches meta_prefetch_stage steps'
+  // worth of column indices ahead of the stitch that consumes them
+  // (Alg. 1 lines 6-8). meta_loaded_until tracks the frontier.
+  int meta_loaded_until = 0;
+
+  // Pipelined main loop (Alg. 1 lines 1-16): the three counters run
+  // skewed so that metadata is MetaPrefetchStage steps ahead of the
+  // stitch, and the stitch is pipeline_stages ahead of the MMA.
+  int metaload_step = 0;
+  int load_step = metaload_step - cfg.meta_prefetch_stage;
+  int step = load_step - cfg.pipeline_stages;
+  while (step < total_step) {
+    const bool record = pipeline_trace != nullptr && step < total_step;
+    bool meta_ready = true;
+
+    if (metaload_step % cfg.meta_prefetch_stage == 0 &&
+        metaload_step <
+            total_step + cfg.meta_prefetch_stage + cfg.pipeline_stages) {
+      // BulkLoadMeta: aggregate column indices of the next
+      // meta_prefetch_stage steps (bandwidth-efficient bulk load).
+      meta_loaded_until =
+          std::min(total_step, std::max(meta_loaded_until,
+                                        metaload_step +
+                                            cfg.meta_prefetch_stage));
+    }
+
+    if (step >= 0 && step < total_step) {
+      // WarpMMA (Fig. 4(c)): dense v x tn x tk tile product, fp32
+      // accumulation, ascending-k order within the buffer. Operands were
+      // decoded at stitch time, so this is pure float FMA.
+      const TileScratch::Stage& buf =
+          scratch.stages[static_cast<std::size_t>(step % cfg.pipeline_stages)];
+      for (int kk = 0; kk < buf.valid_k; ++kk) {
+        const float* arow = &buf.a_tile[static_cast<std::size_t>(kk) * v];
+        const float* brow = &buf.b_tile[static_cast<std::size_t>(kk) * tn];
+        for (int r = 0; r < v; ++r) {
+          const float av = arow[r];
+          if (av == 0.0f) continue;  // padded lane
+          float* crow = &acc[static_cast<std::size_t>(r) * tn];
+          for (int j = 0; j < jw; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+
+    if (load_step >= 0 && load_step < total_step) {
+      // StitchTile (Fig. 4(b)): requires the metadata of this step.
+      meta_ready = load_step < meta_loaded_until;
+      SHFLBW_CHECK_MSG(meta_ready, "pipeline hazard: stitching step "
+                                       << load_step
+                                       << " before its metadata loaded");
+      TileScratch::Stage& buf =
+          scratch.stages[static_cast<std::size_t>(load_step %
+                                                  cfg.pipeline_stages)];
+      const int k0 = load_step * cfg.tk;
+      buf.valid_k = std::min(cfg.tk, kept - k0);
+      for (int kk = 0; kk < cfg.tk; ++kk) {
+        const bool in_range = kk < buf.valid_k;
+        const int vec = base + k0 + kk;
+        float* arow = &buf.a_tile[static_cast<std::size_t>(kk) * v];
+        float* brow = &buf.b_tile[static_cast<std::size_t>(kk) * tn];
+        if (in_range) {
+          // A tile: vector-contiguous fp16 load (pre-rounded values).
+          const float* asrc = &a_vals[static_cast<std::size_t>(vec) * v];
+          std::copy(asrc, asrc + v, arow);
+          // B tile: gather row col_idx[vec] — the in-buffer stitching
+          // that turns the vector-wise matrix into a dense tile.
+          const float* bsrc = bh.row(a.col_idx[vec]) + j0;
+          std::copy(bsrc, bsrc + jw, brow);
+          std::fill(brow + jw, brow + tn, 0.0f);
+        } else {
+          std::fill(arow, arow + v, 0.0f);
+          std::fill(brow, brow + tn, 0.0f);
+        }
+      }
+    }
+
+    if (record) {
+      pipeline_trace->push_back({metaload_step, load_step, step, meta_ready});
+    }
+    ++step;
+    ++load_step;
+    ++metaload_step;
+  }
+
+  // Write-back (Fig. 4(e)): row r of the tile goes to C row
+  // row_map[g*v + r] — identity for VW, storage_to_original for
+  // Shfl-BW (the reordered write-back, §4.2).
+  for (int r = 0; r < v; ++r) {
+    const int out_row = row_map[static_cast<std::size_t>(g) * v + r];
+    float* dst = c.row(out_row) + j0;
+    const float* src = &acc[static_cast<std::size_t>(r) * tn];
+    for (int j = 0; j < jw; ++j) {
+      dst[j] = RoundToFp16(src[j]);
+    }
+  }
+}
+
+}  // namespace
+
 Matrix<float> RunVwFamilyKernel(const VectorWiseMatrix& a,
                                 const std::vector<int>& row_map,
                                 const Matrix<float>& b, const TileConfig& cfg,
@@ -78,131 +238,38 @@ Matrix<float> RunVwFamilyKernel(const VectorWiseMatrix& a,
                    "bad tile config");
   const int n = b.cols();
   const int v = a.v;
-  const int tn = std::min(cfg.tn, std::max(1, n));
+  // Tile width is clamped to the MMA granularity, matching VwFamilyStats
+  // (a narrower-than-kMmaN output still occupies a full MMA tile).
+  const int tn = std::min(cfg.tn, std::max(kMmaN, n));
   Matrix<float> c(a.rows, n);
 
-  // Software-pipeline buffers (Fig. 4(d)): each stage holds one stitched
-  // A tile (v x tk fp16) and one stitched B tile (tk x tn fp16).
-  struct StageBuffer {
-    std::vector<Fp16> a_tile;  // v * tk, vector-major
-    std::vector<Fp16> b_tile;  // tk * tn
-    int valid_k = 0;           // kept vectors in this step (<= tk)
-  };
-  std::vector<StageBuffer> buffers(cfg.pipeline_stages);
-  for (auto& buf : buffers) {
-    buf.a_tile.assign(static_cast<std::size_t>(v) * cfg.tk, Fp16());
-    buf.b_tile.assign(static_cast<std::size_t>(cfg.tk) * tn, Fp16());
-  }
+  // Round both operands through fp16 once; every stitch then copies
+  // floats instead of re-encoding the same entries per row-group.
+  std::vector<float> a_vals(a.values.size());
+  RoundRows(a.values.data(), a_vals.data(), a_vals.size());
+  const Matrix<float> bh = RoundThroughFp16(b);
 
-  bool first_tile = true;
-  for (int g = 0; g < a.Groups(); ++g) {
-    const int base = a.group_col_ptr[g];
-    const int kept = a.KeptColumnsInGroup(g);
-    const int total_step =
-        static_cast<int>(std::ceil(static_cast<double>(kept) / cfg.tk));
-
-    for (int j0 = 0; j0 < n; j0 += tn) {
-      const int jw = std::min(tn, n - j0);
-      // fp32 accumulators for the v x tn output tile (register file).
-      std::vector<float> acc(static_cast<std::size_t>(v) * tn, 0.0f);
-
-      // Metadata queue: BulkLoadMeta fetches meta_prefetch_stage steps'
-      // worth of column indices ahead of the stitch that consumes them
-      // (Alg. 1 lines 6-8). meta_loaded_until tracks the frontier.
-      int meta_loaded_until = 0;
-
-      // Pipelined main loop (Alg. 1 lines 1-16): the three counters run
-      // skewed so that metadata is MetaPrefetchStage steps ahead of the
-      // stitch, and the stitch is pipeline_stages ahead of the MMA.
-      int metaload_step = 0;
-      int load_step = metaload_step - cfg.meta_prefetch_stage;
-      int step = load_step - cfg.pipeline_stages;
-      while (step < total_step) {
-        const bool record =
-            first_tile && pipeline_trace != nullptr && step < total_step;
-        bool meta_ready = true;
-
-        if (metaload_step % cfg.meta_prefetch_stage == 0 &&
-            metaload_step < total_step + cfg.meta_prefetch_stage +
-                                cfg.pipeline_stages) {
-          // BulkLoadMeta: aggregate column indices of the next
-          // meta_prefetch_stage steps (bandwidth-efficient bulk load).
-          meta_loaded_until =
-              std::min(total_step,
-                       std::max(meta_loaded_until,
-                                metaload_step + cfg.meta_prefetch_stage));
-        }
-
-        if (step >= 0 && step < total_step) {
-          // WarpMMA (Fig. 4(c)): dense v x tn x tk tile product, fp32
-          // accumulation, ascending-k order within the buffer. On real
-          // hardware this overlaps the stitch of a later step; in this
-          // serial simulation it must retire BEFORE the stitch below
-          // reuses the same ring slot (load_step - step == ring size).
-          const StageBuffer& buf = buffers[step % cfg.pipeline_stages];
-          for (int kk = 0; kk < buf.valid_k; ++kk) {
-            const Fp16* arow = &buf.a_tile[static_cast<std::size_t>(kk) * v];
-            const Fp16* brow = &buf.b_tile[static_cast<std::size_t>(kk) * tn];
-            for (int r = 0; r < v; ++r) {
-              const float av = arow[r].ToFloat();
-              if (av == 0.0f) continue;  // padded lane
-              float* crow = &acc[static_cast<std::size_t>(r) * tn];
-              for (int j = 0; j < jw; ++j) {
-                crow[j] += av * brow[j].ToFloat();
-              }
-            }
-          }
-        }
-
-        if (load_step >= 0 && load_step < total_step) {
-          // StitchTile (Fig. 4(b)): requires the metadata of this step.
-          meta_ready = load_step < meta_loaded_until;
-          SHFLBW_CHECK_MSG(meta_ready,
-                           "pipeline hazard: stitching step "
-                               << load_step << " before its metadata loaded");
-          StageBuffer& buf = buffers[load_step % cfg.pipeline_stages];
-          const int k0 = load_step * cfg.tk;
-          buf.valid_k = std::min(cfg.tk, kept - k0);
-          for (int kk = 0; kk < cfg.tk; ++kk) {
-            const bool in_range = kk < buf.valid_k;
-            const int vec = base + k0 + kk;
-            // A tile: vector-contiguous fp16 load (zero-padded tail).
-            for (int r = 0; r < v; ++r) {
-              buf.a_tile[static_cast<std::size_t>(kk) * v + r] =
-                  in_range ? Fp16(a.ValueAt(vec, r)) : Fp16();
-            }
-            // B tile: gather row col_idx[vec] — the in-buffer stitching
-            // that turns the vector-wise matrix into a dense tile.
-            for (int j = 0; j < tn; ++j) {
-              const bool col_ok = in_range && j < jw;
-              buf.b_tile[static_cast<std::size_t>(kk) * tn + j] =
-                  col_ok ? Fp16(b(a.col_idx[vec], j0 + j)) : Fp16();
-            }
-          }
-        }
-
-        if (record) {
-          pipeline_trace->push_back(
-              {metaload_step, load_step, step, meta_ready});
-        }
-        ++step;
-        ++load_step;
-        ++metaload_step;
-      }
-
-      // Write-back (Fig. 4(e)): row r of the tile goes to C row
-      // row_map[g*v + r] — identity for VW, storage_to_original for
-      // Shfl-BW (the reordered write-back, §4.2).
-      for (int r = 0; r < v; ++r) {
-        const int out_row = row_map[static_cast<std::size_t>(g) * v + r];
-        for (int j = 0; j < jw; ++j) {
-          c(out_row, j0 + j) =
-              Fp16(acc[static_cast<std::size_t>(r) * tn + j]).ToFloat();
-        }
-      }
-      first_tile = false;
-    }
-  }
+  // Every (row-group, column-tile) pair is an independent work item —
+  // the same decomposition the CUDA grid uses (one threadblock per
+  // output tile). Output regions are disjoint and each tile accumulates
+  // in ascending-k order, so the result is bit-identical at any thread
+  // count. The pipeline trace is only recorded for the first tile
+  // (work item 0), exactly as the serial engine did.
+  const int col_tiles = n > 0 ? (n + tn - 1) / tn : 0;
+  const std::int64_t items =
+      static_cast<std::int64_t>(a.Groups()) * col_tiles;
+  ParallelFor(0, items, /*grain=*/1,
+              [&](std::int64_t lo, std::int64_t hi) {
+                TileScratch& scratch = LocalTileScratch();
+                for (std::int64_t t = lo; t < hi; ++t) {
+                  scratch.Prepare(v, cfg.tk, tn, cfg.pipeline_stages);
+                  const int g = static_cast<int>(t / col_tiles);
+                  const int j0 = static_cast<int>(t % col_tiles) * tn;
+                  ExecuteVwTile(a, a_vals, row_map, bh, cfg, tn, g, j0,
+                                scratch, c,
+                                t == 0 ? pipeline_trace : nullptr);
+                }
+              });
   return c;
 }
 

@@ -1,0 +1,72 @@
+// Exhaustive proof that the fp16 decode-table fast path is bit-for-bit
+// identical to the arithmetic reference decoder over every one of the
+// 65536 bit patterns — including subnormals, +-0, +-inf and every NaN
+// payload (compared as bit patterns, since NaN != NaN as floats).
+#include <bit>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/fp16.h"
+
+namespace shflbw {
+namespace {
+
+std::uint32_t BitsOf(float f) { return std::bit_cast<std::uint32_t>(f); }
+
+TEST(Fp16Table, MatchesReferenceDecoderOnAllBitPatterns) {
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const std::uint16_t bits = static_cast<std::uint16_t>(b);
+    const float fast = Fp16::FromBits(bits).ToFloat();
+    const float ref = Fp16::DecodeReference(bits);
+    ASSERT_EQ(BitsOf(fast), BitsOf(ref))
+        << "fp16 bits=0x" << std::hex << b << " decode mismatch: table="
+        << fast << " reference=" << ref;
+  }
+}
+
+TEST(Fp16Table, CoversSpecialValueClasses) {
+  // Spot-check that the table region test above really exercised the
+  // interesting classes (guards against a future reference refactor
+  // accidentally shrinking a class to nothing).
+  EXPECT_TRUE(Fp16::FromBits(0x0001u).ToFloat() > 0.0f);   // min subnormal
+  EXPECT_EQ(BitsOf(Fp16::FromBits(0x8000u).ToFloat()),
+            BitsOf(-0.0f));                                // negative zero
+  EXPECT_TRUE(Fp16::FromBits(0x7C00u).IsInf());            // +inf
+  EXPECT_TRUE(Fp16::FromBits(0xFC00u).IsInf());            // -inf
+  EXPECT_TRUE(Fp16::FromBits(0x7C01u).IsNan());            // signalling NaN
+  EXPECT_TRUE(Fp16::FromBits(0xFE00u).IsNan());            // quiet NaN
+}
+
+TEST(Fp16Table, BatchHelpersRoundTripEveryFinitePattern) {
+  // DecodeRows / EncodeRows over the full finite range: decode all
+  // values in one batch, re-encode, and require identical bits.
+  std::vector<Fp16> src;
+  src.reserve(65536);
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const Fp16 h = Fp16::FromBits(static_cast<std::uint16_t>(b));
+    if (!h.IsNan()) src.push_back(h);
+  }
+  std::vector<float> decoded(src.size());
+  DecodeRows(src.data(), decoded.data(), src.size());
+  std::vector<Fp16> back(src.size());
+  EncodeRows(decoded.data(), back.data(), decoded.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(back[i].bits(), src[i].bits()) << "index " << i;
+  }
+}
+
+TEST(Fp16Table, RoundRowsMatchesScalarRoundTrip) {
+  const float vals[] = {0.0f,    -0.0f,  1.0f,     65504.0f, 65520.0f,
+                        1e-8f,   -3.25f, 0.333f,   1e10f,    -1e-30f,
+                        2048.5f, 0.1f,   -65504.f, 5.9604645e-8f};
+  constexpr std::size_t n = sizeof(vals) / sizeof(vals[0]);
+  float out[n];
+  RoundRows(vals, out, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(BitsOf(out[i]), BitsOf(Fp16(vals[i]).ToFloat())) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,108 @@
+// ParallelFor contract tests: full coverage of the index range, chunk
+// bounds respecting grain, serial fallback, exception propagation, and
+// the thread-count resolution order (override > env > hardware).
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace shflbw {
+namespace {
+
+/// RAII guard: clears the programmatic override on scope exit so tests
+/// cannot leak a pinned thread count into each other.
+struct ThreadGuard {
+  ~ThreadGuard() { SetParallelThreads(0); }
+};
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  for (int threads : {1, 2, 8}) {
+    SetParallelThreads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelFor, ChunksNeverExceedGrain) {
+  ThreadGuard guard;
+  SetParallelThreads(4);
+  std::atomic<bool> ok{true};
+  ParallelFor(5, 103, 10, [&](std::int64_t lo, std::int64_t hi) {
+    if (hi - lo > 10 || lo < 5 || hi > 103) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoOps) {
+  std::atomic<int> calls{0};
+  ParallelFor(10, 10, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  ParallelFor(10, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleThreadRunsWholeRangeInOneCall) {
+  ThreadGuard guard;
+  SetParallelThreads(1);
+  int calls = 0;
+  std::int64_t seen_lo = -1, seen_hi = -1;
+  ParallelFor(3, 50, 4, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  // Serial fallback ignores grain: one call covering the full range.
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_lo, 3);
+  EXPECT_EQ(seen_hi, 50);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    SetParallelThreads(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 100, 1,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      if (lo <= 42 && 42 < hi) {
+                        throw std::runtime_error("boom");
+                      }
+                    }),
+        std::runtime_error);
+  }
+}
+
+TEST(ThreadCount, OverrideBeatsEnvBeatsHardware) {
+  ThreadGuard guard;
+  ASSERT_EQ(setenv("SHFLBW_NUM_THREADS", "3", 1), 0);
+  EXPECT_EQ(ParallelThreadCount(), 3);
+  SetParallelThreads(5);
+  EXPECT_EQ(ParallelThreadCount(), 5);
+  SetParallelThreads(0);
+  EXPECT_EQ(ParallelThreadCount(), 3);
+  ASSERT_EQ(unsetenv("SHFLBW_NUM_THREADS"), 0);
+  EXPECT_GE(ParallelThreadCount(), 1);
+}
+
+TEST(ThreadCount, MalformedEnvIsIgnored) {
+  ThreadGuard guard;
+  for (const char* bad : {"", "zero", "-4", "0"}) {
+    ASSERT_EQ(setenv("SHFLBW_NUM_THREADS", bad, 1), 0);
+    EXPECT_GE(ParallelThreadCount(), 1) << "env=\"" << bad << "\"";
+  }
+  ASSERT_EQ(unsetenv("SHFLBW_NUM_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace shflbw
