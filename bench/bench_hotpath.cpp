@@ -13,6 +13,11 @@
 // All three outputs are verified bit-identical before timing is
 // reported. Results go to BENCH_hotpath.json (see docs/PERFORMANCE.md).
 //
+// A second section tracks the convolution trajectory: ResNet50 conv
+// shapes through the implicit-GEMM Conv2dShflBw kernel (serial vs
+// parallel, with the dense cuDNN-style baseline for reference), so conv
+// and GEMM hot paths are both covered.
+//
 // Flags: --smoke (tiny shape, 1 rep — CI harness check)
 //        --out=FILE (default BENCH_hotpath.json)
 //        --reps=N (default 3, best-of)
@@ -31,8 +36,10 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "format/vector_wise.h"
+#include "kernels/conv2d.h"
 #include "kernels/kernel_api.h"
 #include "kernels/spmm_vector_wise.h"
+#include "prune/shfl_bw_search.h"
 #include "prune/vector_wise_prune.h"
 
 namespace shflbw {
@@ -149,6 +156,63 @@ double BestOfMs(int reps, const std::function<void()>& fn) {
   return best;
 }
 
+/// A ResNet50 convolution shape driven through Conv2dShflBw.
+struct ConvCase {
+  std::string name;
+  int in_c, hw, out_c, kernel, pad;
+  double alpha;  // kept-vector density
+
+  ConvShape Shape() const {
+    ConvShape s;
+    s.batch = 1;
+    s.in_c = in_c;
+    s.in_h = s.in_w = hw;
+    s.out_c = out_c;
+    s.kh = s.kw = kernel;
+    s.stride = 1;
+    s.pad = pad;
+    return s;
+  }
+};
+
+struct ConvTiming {
+  double dense_ms = 0;     // Conv2dDense at full ParallelThreadCount()
+  double serial_ms = 0;    // Conv2dShflBw pinned to 1 thread
+  double parallel_ms = 0;  // Conv2dShflBw at full ParallelThreadCount()
+  double flops = 0;        // useful sparse FLOPs
+  bool identical = false;  // serial vs parallel bit-identical
+};
+
+ConvTiming RunConvCase(const ConvCase& cc, int reps, int v) {
+  const ConvShape shape = cc.Shape();
+  Rng rng(0xc0 + cc.in_c + cc.out_c + cc.hw);
+  const Matrix<float> master = rng.NormalMatrix(shape.out_c, shape.GemmK());
+  const ShflBwMatrix weights = PruneToShflBw(master, cc.alpha, v);
+  Tensor4 input(shape.batch, shape.in_c, shape.in_h, shape.in_w);
+  for (float& x : input.data) x = static_cast<float>(rng.Normal());
+  const GpuSpec& spec = GetGpuSpec(GpuArch::kV100);
+
+  ConvTiming t;
+  Matrix<float> c_dense, c_serial, c_parallel;
+  t.dense_ms = BestOfMs(reps, [&] {
+    c_dense = Conv2dDense(input, master, shape, spec).c;
+  });
+  KernelResult sparse;
+  SetParallelThreads(1);
+  t.serial_ms = BestOfMs(reps, [&] {
+    sparse = Conv2dShflBw(input, weights, shape, spec);
+  });
+  c_serial = sparse.c;
+  SetParallelThreads(0);
+  t.parallel_ms = BestOfMs(reps, [&] {
+    sparse = Conv2dShflBw(input, weights, shape, spec);
+  });
+  c_parallel = sparse.c;
+  t.flops = sparse.stats.useful_flops;
+  t.identical = c_serial == c_parallel;
+  return t;
+}
+
 Timing RunCase(const BenchCase& bc, int reps, int v) {
   Rng rng(0x5eed + bc.m + bc.k + bc.n);
   const Matrix<float> pruned =
@@ -174,7 +238,9 @@ Timing RunCase(const BenchCase& bc, int reps, int v) {
 }
 
 bool WriteJson(const std::string& path, const std::vector<BenchCase>& cases,
-               const std::vector<Timing>& timings, int threads) {
+               const std::vector<Timing>& timings,
+               const std::vector<ConvCase>& conv_cases,
+               const std::vector<ConvTiming>& conv_timings, int threads) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -212,6 +278,26 @@ bool WriteJson(const std::string& path, const std::vector<BenchCase>& cases,
                  t.identical ? "true" : "false",
                  i + 1 < cases.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"conv_results\": [\n");
+  for (std::size_t i = 0; i < conv_cases.size(); ++i) {
+    const ConvCase& cc = conv_cases[i];
+    const ConvTiming& t = conv_timings[i];
+    const ConvShape shape = cc.Shape();
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
+                 "\"alpha\": %.3f,\n"
+                 "     \"dense_ms\": %.3f, \"serial_ms\": %.3f, "
+                 "\"parallel_ms\": %.3f,\n"
+                 "     \"serial_gflops\": %.3f, \"parallel_gflops\": %.3f,\n"
+                 "     \"speedup_vs_dense\": %.3f, "
+                 "\"speedup_vs_serial\": %.3f, \"bit_identical\": %s}%s\n",
+                 cc.name.c_str(), shape.GemmM(), shape.GemmK(),
+                 shape.GemmN(), cc.alpha, t.dense_ms, t.serial_ms,
+                 t.parallel_ms, t.flops / t.serial_ms / 1e6,
+                 t.flops / t.parallel_ms / 1e6, t.dense_ms / t.parallel_ms,
+                 t.serial_ms / t.parallel_ms, t.identical ? "true" : "false",
+                 i + 1 < conv_cases.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
@@ -233,9 +319,11 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<BenchCase> cases;
+  std::vector<ConvCase> conv_cases;
   if (smoke) {
     reps = 1;
     cases.push_back({"smoke-256", 256, 256, 32, 0.3});
+    conv_cases.push_back({"smoke-conv-32", 32, 8, 32, 3, 1, 0.3});
   } else {
     // GNMT LSTM gate / Transformer FFN / ResNet50 conv layer shapes at
     // the paper's evaluation sparsities (alpha = kept density).
@@ -243,6 +331,14 @@ int Main(int argc, char** argv) {
       cases.push_back({"gnmt-lstm-4096x1024", 4096, 1024, 128, alpha});
       cases.push_back({"transformer-ffn-1024x4096", 1024, 4096, 128, alpha});
       cases.push_back({"resnet50-conv-512x4608", 512, 4608, 196, alpha});
+    }
+    // ResNet50 stage shapes through the full implicit-GEMM conv path
+    // (im2col + Shfl-BW SpMM), batch 1 to bound simulator cost.
+    for (double alpha : {0.1, 0.3}) {
+      conv_cases.push_back({"resnet50-conv3.3x3-28", 128, 28, 128, 3, 1,
+                            alpha});
+      conv_cases.push_back({"resnet50-conv4.reduce-14", 1024, 14, 256, 1, 0,
+                            alpha});
     }
   }
 
@@ -264,7 +360,22 @@ int Main(int argc, char** argv) {
                 t.identical ? "" : "  OUTPUT MISMATCH");
     timings.push_back(t);
   }
-  const bool wrote = WriteJson(out, cases, timings, threads);
+  std::printf("\n%-28s %7s %9s %9s %11s %8s %8s\n", "conv shape", "alpha",
+              "dense_ms", "serial_ms", "parallel_ms", "dense_x", "par_x");
+  std::vector<ConvTiming> conv_timings;
+  for (const ConvCase& cc : conv_cases) {
+    const ConvTiming t = RunConvCase(cc, reps, /*v=*/8);
+    all_identical = all_identical && t.identical;
+    std::printf("%-28s %7.2f %9.2f %9.2f %11.2f %7.2fx %7.2fx%s\n",
+                cc.name.c_str(), cc.alpha, t.dense_ms, t.serial_ms,
+                t.parallel_ms, t.dense_ms / t.parallel_ms,
+                t.serial_ms / t.parallel_ms,
+                t.identical ? "" : "  OUTPUT MISMATCH");
+    conv_timings.push_back(t);
+  }
+
+  const bool wrote =
+      WriteJson(out, cases, timings, conv_cases, conv_timings, threads);
   if (wrote) std::printf("wrote %s\n", out.c_str());
   if (!all_identical) {
     std::fprintf(stderr, "FAIL: parallel output not bit-identical\n");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -27,6 +28,139 @@ int EnvThreads() {
   return static_cast<int>(std::min<long>(v, 1024));
 }
 
+/// One parallel region: a chunked [begin, end) range drained through an
+/// atomic claim counter by the caller and any pool workers that join.
+struct Job {
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  std::int64_t begin = 0;
+  std::int64_t grain = 1;
+  std::int64_t end = 0;
+  std::int64_t chunks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  void Drain() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::int64_t lo = begin + c * grain;
+      const std::int64_t hi = std::min(end, lo + grain);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+/// True on threads that must not re-enter the pool: pool workers (a
+/// nested ParallelFor inside a chunk would deadlock waiting on workers
+/// that are all busy in the outer region) and callers already inside a
+/// parallel region on this thread.
+thread_local bool t_in_parallel_region = false;
+
+/// Lazily-grown persistent worker pool. Workers are spawned the first
+/// time a region asks for them, then parked on a condition variable
+/// between regions, so worker thread_local scratch (the VW-family stage
+/// buffers and accumulators) survives across the many small kernel
+/// launches a multi-layer inference run issues. One region runs at a
+/// time (guarded by run_mu_); concurrent callers serialize, which
+/// matches the library's one-kernel-at-a-time execution model.
+class WorkerPool {
+ public:
+  static WorkerPool& Instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  /// Runs `job` with up to `extra_workers` pool workers assisting the
+  /// calling thread. Returns once every chunk has retired and no worker
+  /// still references `job`. Only workers with index < extra_workers
+  /// join (the quota below), so a region never uses more threads than
+  /// it resolved at entry even after the pool has grown larger for an
+  /// earlier region, and the participating set is deterministic.
+  void Run(Job& job, int extra_workers) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Grow(extra_workers);
+      job_ = &job;
+      quota_ = extra_workers;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    t_in_parallel_region = true;
+    job.Drain();
+    t_in_parallel_region = false;
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = nullptr;  // workers that have not joined yet never will
+    done_cv_.wait(lock, [&] { return busy_ == 0; });
+  }
+
+ private:
+  WorkerPool() = default;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& th : workers_) th.join();
+  }
+
+  /// Spawns workers until `wanted` exist (never shrinks). Thread
+  /// exhaustion degrades to however many workers spawned — the caller
+  /// drains too, so the region still completes.
+  void Grow(int wanted) {
+    while (static_cast<int>(workers_.size()) < wanted) {
+      try {
+        const int index = static_cast<int>(workers_.size());
+        workers_.emplace_back([this, index] { WorkerLoop(index); });
+      } catch (const std::system_error&) {
+        break;
+      }
+    }
+  }
+
+  void WorkerLoop(int index) {
+    t_in_parallel_region = true;  // nested ParallelFor runs serially
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] {
+        return stop_ ||
+               (job_ != nullptr && epoch_ != seen && index < quota_);
+      });
+      if (stop_) return;
+      seen = epoch_;
+      Job* job = job_;
+      ++busy_;
+      lock.unlock();
+      job->Drain();
+      lock.lock();
+      if (--busy_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex run_mu_;  // serializes whole parallel regions
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable cv_;       // workers wait for a new epoch
+  std::condition_variable done_cv_;  // caller waits for busy_ == 0
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int quota_ = 0;  // workers with index < quota_ may join the epoch
+  int busy_ = 0;
+  bool stop_ = false;
+};
+
 }  // namespace
 
 int ParallelThreadCount() {
@@ -48,46 +182,19 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
   const std::int64_t chunks = (end - begin + grain - 1) / grain;
   const int threads =
       static_cast<int>(std::min<std::int64_t>(ParallelThreadCount(), chunks));
-  if (threads <= 1) {
+  if (threads <= 1 || t_in_parallel_region) {
     fn(begin, end);
     return;
   }
 
-  std::atomic<std::int64_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
-  auto drain = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= chunks) return;
-      const std::int64_t lo = begin + c * grain;
-      const std::int64_t hi = std::min(end, lo + grain);
-      try {
-        fn(lo, hi);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-
-  std::vector<std::thread> team;
-  team.reserve(static_cast<std::size_t>(threads) - 1);
-  for (int t = 1; t < threads; ++t) {
-    try {
-      team.emplace_back(drain);
-    } catch (const std::system_error&) {
-      // Thread exhaustion: degrade to however many workers spawned
-      // (the caller drains too) instead of letting joinable threads
-      // unwind into std::terminate.
-      break;
-    }
-  }
-  drain();
-  for (std::thread& th : team) th.join();
-  if (error) std::rethrow_exception(error);
+  Job job;
+  job.fn = &fn;
+  job.begin = begin;
+  job.grain = grain;
+  job.end = end;
+  job.chunks = chunks;
+  WorkerPool::Instance().Run(job, threads - 1);
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 }  // namespace shflbw

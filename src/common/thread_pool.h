@@ -27,16 +27,20 @@ void SetParallelThreads(int n);
 /// Runs fn over [begin, end) split into chunks of at most `grain`
 /// indices. Chunks are handed out dynamically (atomic counter), so the
 /// schedule load-balances ragged work; fn(lo, hi) receives a half-open
-/// subrange. Runs serially (on the calling thread, no spawn) when the
-/// resolved thread count is 1 or the range fits in a single chunk.
+/// subrange. Runs serially (on the calling thread, no pool traffic) when
+/// the resolved thread count is 1 or the range fits in a single chunk.
 /// The first exception thrown by any chunk is rethrown on the caller.
 ///
-/// Workers are forked per call and joined before return (no persistent
-/// pool): kernel invocations are ms-scale, so spawn cost is noise there,
-/// and a fork-join lifetime keeps thread-count changes (env/override
-/// between calls) and error handling trivial. If profiles ever show the
-/// spawn dominating (many tiny layers per forward pass), a lazily-grown
-/// persistent pool can replace the internals behind this same signature.
+/// Workers come from a process-wide lazily-grown persistent pool: the
+/// first region that asks for N threads spawns the missing workers, and
+/// they park on a condition variable between regions. This keeps worker
+/// thread_local scratch (the VW-family stage buffers) alive across the
+/// many small kernel launches a multi-layer inference run issues, and
+/// removes the per-call spawn/join cost the runtime engine would
+/// otherwise pay per layer. Thread-count changes between calls still
+/// work (a region only wakes as many workers as it resolved); nested
+/// ParallelFor calls from inside a region run serially on the calling
+/// worker, so kernels stay composable with outer-level parallelism.
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& fn);
 

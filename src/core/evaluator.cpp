@@ -78,14 +78,10 @@ std::optional<ModelSpeedup> EvaluateConvModel(
     if (klass == KernelClass::kDenseTensorCore) {
       sparse_s = dense_s;
     } else {
-      KernelStats s = Conv2dShflBwStats(shape, density, v, spec);
-      if (klass == KernelClass::kVectorWiseTensorCore) {
-        // Identical engine; drop the row-index metadata.
-        s.kernel_class = KernelClass::kVectorWiseTensorCore;
-        s.metadata_bytes -= 4.0 * shape.GemmM();
-        s.dram_read_bytes -= 4.0 * shape.GemmM();
-      }
-      sparse_s = model.Seconds(s);
+      sparse_s = model.Seconds(
+          klass == KernelClass::kVectorWiseTensorCore
+              ? Conv2dVectorWiseStats(shape, density, v, spec)
+              : Conv2dShflBwStats(shape, density, v, spec));
     }
     LayerTiming t{l.name, dense_s * l.repeat, sparse_s * l.repeat,
                   dense_s / sparse_s};

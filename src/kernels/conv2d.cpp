@@ -99,6 +99,17 @@ KernelStats Conv2dShflBwStats(const ConvShape& shape, double alpha, int v,
   return s;
 }
 
+KernelStats Conv2dVectorWiseStats(const ConvShape& shape, double alpha, int v,
+                                  const GpuSpec& spec,
+                                  const TileConfig& cfg) {
+  KernelStats s = Conv2dShflBwStats(shape, alpha, v, spec, cfg);
+  s.kernel_name = "vw-implicit-gemm";
+  s.kernel_class = KernelClass::kVectorWiseTensorCore;
+  s.metadata_bytes -= 4.0 * shape.GemmM();
+  s.dram_read_bytes -= 4.0 * shape.GemmM();
+  return s;
+}
+
 KernelResult Conv2dDense(const Tensor4& input, const Matrix<float>& weights,
                          const ConvShape& shape, const GpuSpec& spec) {
   SHFLBW_CHECK_MSG(weights.rows() == shape.out_c &&

@@ -80,4 +80,11 @@ KernelStats Conv2dDenseStats(const ConvShape& shape, const GpuSpec& spec);
 KernelStats Conv2dShflBwStats(const ConvShape& shape, double alpha, int v,
                               const GpuSpec& spec, const TileConfig& cfg = {});
 
+/// Stats-only model for the vector-wise kernel on conv: identical
+/// engine to Shfl-BW minus the row-index metadata of the reordered
+/// write-back. Shared by the Fig. 6 evaluator and the runtime planner.
+KernelStats Conv2dVectorWiseStats(const ConvShape& shape, double alpha, int v,
+                                  const GpuSpec& spec,
+                                  const TileConfig& cfg = {});
+
 }  // namespace shflbw

@@ -1,0 +1,239 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "kernels/gemm_dense.h"
+#include "kernels/spmm_balanced24.h"
+#include "kernels/spmm_bsr.h"
+#include "kernels/spmm_shfl_bw.h"
+#include "kernels/spmm_sputnik.h"
+#include "kernels/spmm_vector_wise.h"
+#include "model/weight_synth.h"
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Engine::Engine(ModelDesc model, EngineOptions opts)
+    : model_(std::move(model)),
+      opts_(opts),
+      spec_(GetGpuSpec(opts.planner.arch)),
+      masters_(model_.layers.size()) {
+  SHFLBW_CHECK_MSG(!model_.layers.empty(), "model has no layers");
+}
+
+const ExecutionPlan& Engine::Plan() {
+  if (plan_) return *plan_;
+  plan_ = PlanModel(model_, opts_.planner);
+  if (opts_.planner.autotune && !opts_.planner.force_format) Autotune();
+  return *plan_;
+}
+
+const Matrix<float>& Engine::MasterWeight(int layer) {
+  auto& slot = masters_[static_cast<std::size_t>(layer)];
+  if (!slot) {
+    const LayerDesc& l = model_.layers[static_cast<std::size_t>(layer)];
+    SynthWeightOptions synth;
+    synth.seed = opts_.weight_seed + static_cast<std::uint64_t>(layer);
+    slot = SynthesizeWeights(l.GemmM(), l.GemmK(), synth);
+  }
+  return *slot;
+}
+
+const PackedWeight& Engine::Packed(int layer, Format format) {
+  return cache_.GetOrPack(layer, format, MasterWeight(layer),
+                          opts_.planner.density, opts_.planner.v);
+}
+
+KernelResult Engine::ExecuteGemm(const PackedWeight& w,
+                                 const Matrix<float>& act) {
+  switch (w.format) {
+    case Format::kDense: return GemmTensorCore(w.dense, act, spec_);
+    case Format::kCsr: return SpmmSputnik(w.csr, act, spec_);
+    case Format::kBsr: return SpmmBsr(w.bsr, act, spec_);
+    case Format::kBalanced24: return SpmmBalanced24(w.balanced24, act, spec_);
+    case Format::kVectorWise: return SpmmVectorWise(w.vw, act, spec_);
+    case Format::kShflBw: return SpmmShflBw(w.shflbw, act, spec_);
+  }
+  throw Error("unknown Format");
+}
+
+KernelResult Engine::ExecuteConv(const PackedWeight& w, const ConvShape& shape,
+                                 const Tensor4& input) {
+  switch (w.format) {
+    case Format::kDense: return Conv2dDense(input, w.dense, shape, spec_);
+    case Format::kShflBw: return Conv2dShflBw(input, w.shflbw, shape, spec_);
+    case Format::kVectorWise: {
+      // Implicit GEMM with the VW kernel: same engine as Shfl-BW minus
+      // the row shuffle (the unfold is shared with Conv2dDense).
+      const Matrix<float> b = Im2Col(input, shape);
+      return SpmmVectorWise(w.vw, b, spec_);
+    }
+    default:
+      throw Error("format " + FormatName(w.format) +
+                  " has no conv implementation");
+  }
+}
+
+const Matrix<float>& Engine::StreamGemmInput(int k, int n) {
+  if (gemm_input_scratch_.rows() != k || gemm_input_scratch_.cols() != n) {
+    gemm_input_scratch_ = Matrix<float>(k, n);
+  }
+  float* out = gemm_input_scratch_.data();
+  const std::size_t total = gemm_input_scratch_.size();
+  for (std::size_t i = 0; i < total; ++i) out[i] = StreamValue(i);
+  return gemm_input_scratch_;
+}
+
+const Tensor4& Engine::StreamConvInput(const ConvShape& shape) {
+  if (conv_input_scratch_.n != shape.batch ||
+      conv_input_scratch_.c != shape.in_c ||
+      conv_input_scratch_.h != shape.in_h ||
+      conv_input_scratch_.w != shape.in_w) {
+    conv_input_scratch_ =
+        Tensor4(shape.batch, shape.in_c, shape.in_h, shape.in_w);
+  }
+  const std::size_t total = conv_input_scratch_.data.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    conv_input_scratch_.data[i] = StreamValue(i);
+  }
+  return conv_input_scratch_;
+}
+
+RunResult Engine::Run() {
+  const ExecutionPlan& plan = Plan();
+  const std::size_t packs_before = cache_.TotalPacks();
+
+  RunResult result;
+  // Fresh deterministic input stream per Run, so every Run of the same
+  // engine (and of any engine with equal seeds) computes identical
+  // values regardless of thread count or prior calls.
+  {
+    Rng rng(opts_.activation_seed);
+    const LayerDesc& first = model_.layers.front();
+    const std::size_t need =
+        first.kind == LayerKind::kConv
+            ? static_cast<std::size_t>(first.conv.batch) * first.conv.in_c *
+                  first.conv.in_h * first.conv.in_w
+            : static_cast<std::size_t>(first.gemm.k) * first.gemm.n;
+    stream_.resize(need);
+    for (float& x : stream_) x = static_cast<float>(rng.Normal());
+  }
+
+  for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+    const LayerDesc& l = model_.layers[i];
+    const LayerPlan& lp = plan.layers[i];
+    const PackedWeight& w = Packed(static_cast<int>(i), lp.format);
+
+    double adapt0 = NowSeconds();
+    KernelResult kr;
+    double t0 = 0, t1 = 0;
+    if (l.kind == LayerKind::kGemm) {
+      const Matrix<float>& act = StreamGemmInput(l.gemm.k, l.gemm.n);
+      t0 = NowSeconds();
+      kr = ExecuteGemm(w, act);
+      t1 = NowSeconds();
+    } else {
+      const ConvShape shape = ToConvShape(l.conv);
+      const Tensor4& input = StreamConvInput(shape);
+      t0 = NowSeconds();
+      kr = ExecuteConv(w, shape, input);
+      t1 = NowSeconds();
+    }
+
+    LayerRunRecord rec;
+    rec.name = l.Name();
+    rec.format = lp.format;
+    rec.repeat = l.repeat;
+    rec.seconds = t1 - t0;
+    rec.useful_flops = kr.stats.useful_flops;
+    rec.modeled_s = lp.modeled_s;
+    rec.modeled_dense_s = lp.modeled_dense_s;
+    result.kernel_seconds += rec.seconds;
+    result.weighted_seconds += rec.seconds * l.repeat;
+    result.layers.push_back(std::move(rec));
+
+    // Stream this layer's output into the next layer's input at unit
+    // RMS — the stand-in for the inter-layer normalization real models
+    // carry; without it activations compound out of fp16 range within a
+    // few layers. Serial fixed-order accumulation keeps it exact across
+    // thread counts.
+    double sum_sq = 0.0;
+    const std::vector<float>& out = kr.c.storage();
+    for (float x : out) sum_sq += static_cast<double>(x) * x;
+    const float inv_rms =
+        sum_sq > 0.0
+            ? static_cast<float>(1.0 / std::sqrt(sum_sq / out.size()))
+            : 1.0f;
+    stream_.resize(out.size());
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      stream_[j] = out[j] * inv_rms;
+    }
+    result.overhead_seconds += (t0 - adapt0) + (NowSeconds() - t1);
+
+    if (i + 1 == model_.layers.size()) result.output = std::move(kr.c);
+  }
+
+  result.packs_performed = cache_.TotalPacks() - packs_before;
+  return result;
+}
+
+double Engine::TimeLayerOnce(int layer, Format format) {
+  const LayerDesc& l = model_.layers[static_cast<std::size_t>(layer)];
+  const PackedWeight& w = Packed(layer, format);
+  // Deterministic throwaway activations at this layer's shape.
+  Rng rng(opts_.activation_seed ^ 0x7a11u);
+  if (l.kind == LayerKind::kGemm) {
+    const Matrix<float> act = rng.NormalMatrix(l.gemm.k, l.gemm.n);
+    const double t0 = NowSeconds();
+    (void)ExecuteGemm(w, act);
+    return NowSeconds() - t0;
+  }
+  const ConvShape shape = ToConvShape(l.conv);
+  Tensor4 input(shape.batch, shape.in_c, shape.in_h, shape.in_w);
+  for (float& x : input.data) x = static_cast<float>(rng.Normal());
+  const double t0 = NowSeconds();
+  (void)ExecuteConv(w, shape, input);
+  return NowSeconds() - t0;
+}
+
+void Engine::Autotune() {
+  const int top_k = std::max(1, opts_.planner.autotune_top_k);
+  for (LayerPlan& lp : plan_->layers) {
+    int timed = 0;
+    int best = -1;
+    for (std::size_t c = 0; c < lp.candidates.size() && timed < top_k; ++c) {
+      FormatCandidate& cand = lp.candidates[c];
+      if (!cand.feasible) break;  // feasible candidates sort first
+      cand.measured_s = TimeLayerOnce(lp.layer, cand.format);
+      if (best < 0 || cand.measured_s <
+                          lp.candidates[static_cast<std::size_t>(best)]
+                              .measured_s) {
+        best = static_cast<int>(c);
+      }
+      ++timed;
+    }
+    if (timed > 1) {
+      const FormatCandidate& winner =
+          lp.candidates[static_cast<std::size_t>(best)];
+      lp.format = winner.format;
+      lp.modeled_s = winner.modeled_s;
+      lp.autotuned = true;
+    }
+  }
+}
+
+}  // namespace runtime
+}  // namespace shflbw

@@ -1,0 +1,130 @@
+// The inference engine: plan / pack / execute.
+//
+//   plan     PlanModel ranks every format per layer with the cost
+//            model; an optional autotune pass packs the top candidates
+//            and re-ranks them by measured wall-clock.
+//   pack     the selected format of each layer is pruned + converted
+//            once into the PackedWeightCache (weights are synthesized
+//            deterministically per layer, standing in for trained
+//            checkpoints as everywhere else in this repo).
+//   execute  Run streams activations layer-to-layer through the
+//            functional kernels on the persistent ParallelFor pool,
+//            reusing per-engine activation scratch; outputs are
+//            bit-identical at any thread count because every kernel is.
+//
+// The schedule-once / run-many split follows the compile-then-execute
+// structure of inductor-style runtimes: Plan() is paid once, Run() is
+// the steady-state serving path and performs zero conversions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "kernels/conv2d.h"
+#include "runtime/model_desc.h"
+#include "runtime/planner.h"
+#include "runtime/weight_cache.h"
+
+namespace shflbw {
+namespace runtime {
+
+struct EngineOptions {
+  PlannerOptions planner;
+  /// Base seed for the per-layer synthetic master weights (layer i uses
+  /// weight_seed + i).
+  std::uint64_t weight_seed = 0x5eedULL;
+  /// Seed for the first layer's input activations.
+  std::uint64_t activation_seed = 0xac71ULL;
+};
+
+/// Measured execution of one layer (one invocation).
+struct LayerRunRecord {
+  std::string name;
+  Format format = Format::kDense;
+  int repeat = 1;
+  double seconds = 0;       // measured kernel wall-clock
+  double useful_flops = 0;  // from the kernel's stats counters
+  double modeled_s = 0;     // planner's cost-model prediction
+  double modeled_dense_s = 0;
+
+  double Gflops() const {
+    return seconds > 0 ? useful_flops / seconds / 1e9 : 0.0;
+  }
+};
+
+/// Result of one whole-model Run.
+struct RunResult {
+  Matrix<float> output;        // final layer output (original row order)
+  double kernel_seconds = 0;   // sum of per-layer kernel time, 1 invocation each
+  double weighted_seconds = 0; // repeat-weighted whole-model latency
+  double overhead_seconds = 0; // activation streaming + normalization
+  std::size_t packs_performed = 0;  // conversions triggered by this Run
+  std::vector<LayerRunRecord> layers;
+};
+
+class Engine {
+ public:
+  explicit Engine(ModelDesc model, EngineOptions opts = {});
+
+  /// Compiles the schedule on first call (cost-model ranking, plus the
+  /// empirical autotune pass when options.planner.autotune is set) and
+  /// returns the same plan thereafter.
+  const ExecutionPlan& Plan();
+
+  /// Executes the model end-to-end. The first Run packs any weight the
+  /// plan selected that autotune has not already packed; later Runs hit
+  /// the cache and perform zero conversions.
+  RunResult Run();
+
+  const ModelDesc& model() const { return model_; }
+  const EngineOptions& options() const { return opts_; }
+  const PackedWeightCache& cache() const { return cache_; }
+  const GpuSpec& gpu() const { return spec_; }
+
+ private:
+  /// Synthesized master weight of layer i (created once, then cached).
+  const Matrix<float>& MasterWeight(int layer);
+
+  /// Packs (or fetches) layer i's weight in `format`.
+  const PackedWeight& Packed(int layer, Format format);
+
+  /// Executes one GEMM layer on the packed weight.
+  KernelResult ExecuteGemm(const PackedWeight& w, const Matrix<float>& act);
+  /// Executes one conv layer on the packed weight.
+  KernelResult ExecuteConv(const PackedWeight& w, const ConvShape& shape,
+                           const Tensor4& input);
+
+  /// Fills this layer's input from the activation stream (the previous
+  /// layer's RMS-normalized output, wrapped cyclically to the required
+  /// shape) into the per-engine scratch buffers.
+  const Matrix<float>& StreamGemmInput(int k, int n);
+  const Tensor4& StreamConvInput(const ConvShape& shape);
+  float StreamValue(std::size_t i) const {
+    return stream_[i % stream_.size()];
+  }
+
+  /// Re-ranks each layer's top candidates by measured time (packs them
+  /// through the cache, so the work is reused by Run).
+  void Autotune();
+
+  /// Times one invocation of layer i under `format`; used by Autotune.
+  double TimeLayerOnce(int layer, Format format);
+
+  ModelDesc model_;
+  EngineOptions opts_;
+  GpuSpec spec_;
+  std::optional<ExecutionPlan> plan_;
+  PackedWeightCache cache_;
+  std::vector<std::optional<Matrix<float>>> masters_;
+
+  // Streaming state + per-engine scratch, reused across layers and Runs.
+  std::vector<float> stream_;
+  Matrix<float> gemm_input_scratch_;
+  Tensor4 conv_input_scratch_;
+};
+
+}  // namespace runtime
+}  // namespace shflbw

@@ -1,0 +1,48 @@
+#include "runtime/format.h"
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace runtime {
+
+const std::vector<Format>& AllFormats() {
+  static const std::vector<Format> kAll{
+      Format::kDense,      Format::kCsr,        Format::kBsr,
+      Format::kBalanced24, Format::kVectorWise, Format::kShflBw,
+  };
+  return kAll;
+}
+
+std::string FormatName(Format f) {
+  switch (f) {
+    case Format::kDense: return "dense";
+    case Format::kCsr: return "csr";
+    case Format::kBsr: return "bsr";
+    case Format::kBalanced24: return "2:4";
+    case Format::kVectorWise: return "vw";
+    case Format::kShflBw: return "shfl-bw";
+  }
+  throw Error("unknown Format");
+}
+
+Format ParseFormat(const std::string& name) {
+  for (Format f : AllFormats()) {
+    if (FormatName(f) == name) return f;
+  }
+  throw Error("unknown format name: " + name);
+}
+
+KernelClass FormatKernelClass(Format f) {
+  switch (f) {
+    case Format::kDense: return KernelClass::kDenseTensorCore;
+    case Format::kCsr: return KernelClass::kSputnik;
+    case Format::kBsr: return KernelClass::kBsrTensorCore;
+    case Format::kBalanced24: return KernelClass::kBalanced24;
+    case Format::kVectorWise: return KernelClass::kVectorWiseTensorCore;
+    case Format::kShflBw: return KernelClass::kShflBwTensorCore;
+  }
+  throw Error("unknown Format");
+}
+
+}  // namespace runtime
+}  // namespace shflbw

@@ -1,0 +1,42 @@
+// Storage formats the inference runtime can select per layer. Each
+// format pairs a packed weight representation (src/format/) with the
+// kernel that executes it (src/kernels/); the planner ranks them with
+// the arch cost model and the engine packs the winner once into the
+// PackedWeightCache.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/kernel_stats.h"
+
+namespace shflbw {
+namespace runtime {
+
+/// Selectable weight formats, in planner evaluation order.
+enum class Format {
+  kDense,       // fp16 dense weight, cuBLAS-style tensor-core GEMM
+  kCsr,         // unstructured CSR, executed with the Sputnik schedule
+  kBsr,         // V x V block-sparse, cuSPARSE bsrmm-style
+  kBalanced24,  // 2:4 structured, A100 sparse tensor-core only
+  kVectorWise,  // V x 1 vector-wise tensor-core SpMM
+  kShflBw,      // the paper's shuffled vector-wise kernel
+};
+
+/// All selectable formats, in evaluation order.
+const std::vector<Format>& AllFormats();
+
+/// Short stable name ("dense", "csr", "bsr", "2:4", "vw", "shfl-bw").
+std::string FormatName(Format f);
+
+/// Inverse of FormatName; throws shflbw::Error on unknown names.
+Format ParseFormat(const std::string& name);
+
+/// The kernel class whose stats model / efficiency calibration times
+/// this format. CSR maps to Sputnik — the stronger of the two
+/// unstructured baselines — and both CSR kernels share one functional
+/// core anyway (RunCsrRowParallel).
+KernelClass FormatKernelClass(Format f);
+
+}  // namespace runtime
+}  // namespace shflbw

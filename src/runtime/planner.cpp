@@ -1,0 +1,160 @@
+#include "runtime/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/cost_model.h"
+#include "common/check.h"
+#include "kernels/conv2d.h"
+#include "kernels/kernel_registry.h"
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+std::optional<double> ModeledConvSeconds(const ConvLayerSpec& l,
+                                         Format format,
+                                         const PlannerOptions& opts,
+                                         const GpuSpec& spec,
+                                         std::string* why) {
+  const ConvShape shape = ToConvShape(l);
+  const CostModel model(spec);
+  switch (format) {
+    case Format::kDense:
+      return model.Seconds(Conv2dDenseStats(shape, spec));
+    case Format::kShflBw:
+    case Format::kVectorWise: {
+      if (shape.GemmM() % opts.v != 0) {
+        if (why) *why = "out_c not divisible by V";
+        return std::nullopt;
+      }
+      const KernelStats s =
+          format == Format::kShflBw
+              ? Conv2dShflBwStats(shape, opts.density, opts.v, spec)
+              : Conv2dVectorWiseStats(shape, opts.density, opts.v, spec);
+      return model.Seconds(s);
+    }
+    default:
+      if (why) *why = "no conv implementation";  // §6.2
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<double> ModeledLayerSeconds(const LayerDesc& l, Format format,
+                                          const PlannerOptions& opts,
+                                          std::string* why) {
+  const GpuSpec& spec = GetGpuSpec(opts.arch);
+  if (l.kind == LayerKind::kConv) {
+    return ModeledConvSeconds(l.conv, format, opts, spec, why);
+  }
+
+  LayerProblem p{l.gemm.m, l.gemm.n, l.gemm.k,
+                 format == Format::kDense ? 1.0 : opts.density, opts.v};
+  if (format == Format::kBalanced24) {
+    // The sparse tensor-core fixes density at exactly 0.5; selecting it
+    // at any other pruning budget would execute a different model.
+    if (std::abs(opts.density - 0.5) > 1e-9) {
+      if (why) *why = "2:4 fixes density at 0.5";
+      return std::nullopt;
+    }
+    p.density = 0.5;
+  }
+  const auto seconds = LayerSeconds(FormatKernelClass(format), p, spec);
+  if (!seconds && why) {
+    switch (format) {
+      case Format::kBsr:
+        *why = "m or k not divisible by V";
+        break;
+      case Format::kVectorWise:
+      case Format::kShflBw:
+        *why = "m not divisible by V";
+        break;
+      case Format::kBalanced24:
+        *why = spec.arch != GpuArch::kA100 ? "sparse tensor-core is A100-only"
+                                           : "k not divisible by 4";
+        break;
+      default:
+        *why = "stats model undefined";
+        break;
+    }
+  }
+  return seconds;
+}
+
+LayerPlan PlanLayer(const LayerDesc& l, int index,
+                    const PlannerOptions& opts) {
+  LayerPlan plan;
+  plan.name = l.Name();
+  plan.layer = index;
+  plan.repeat = l.repeat;
+
+  const auto dense_s = ModeledLayerSeconds(l, Format::kDense, opts);
+  SHFLBW_CHECK_MSG(dense_s.has_value(),
+                   "dense must be modelable for layer " << plan.name);
+  plan.modeled_dense_s = *dense_s;
+
+  for (Format f : AllFormats()) {
+    FormatCandidate c;
+    c.format = f;
+    const bool excluded =
+        std::find(opts.exclude.begin(), opts.exclude.end(), f) !=
+        opts.exclude.end();
+    if (opts.force_format && f != *opts.force_format) {
+      c.why = "excluded by force_format";
+    } else if (excluded && f != Format::kDense) {
+      c.why = "excluded by options";
+    } else {
+      const auto s = ModeledLayerSeconds(l, f, opts, &c.why);
+      if (s) {
+        c.feasible = true;
+        c.modeled_s = *s;
+      }
+    }
+    plan.candidates.push_back(std::move(c));
+  }
+  // Feasible first, fastest first; ties and infeasibles keep the stable
+  // AllFormats order so the ranking is fully deterministic.
+  std::stable_sort(plan.candidates.begin(), plan.candidates.end(),
+                   [](const FormatCandidate& a, const FormatCandidate& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     if (!a.feasible) return false;
+                     return a.modeled_s < b.modeled_s;
+                   });
+  SHFLBW_CHECK_MSG(!plan.candidates.empty() && plan.candidates[0].feasible,
+                   "no feasible format for layer " << plan.name);
+  plan.format = plan.candidates[0].format;
+  plan.modeled_s = plan.candidates[0].modeled_s;
+  return plan;
+}
+
+ExecutionPlan PlanModel(const ModelDesc& model, const PlannerOptions& opts) {
+  SHFLBW_CHECK_MSG(opts.density > 0.0 && opts.density <= 1.0,
+                   "density " << opts.density);
+  SHFLBW_CHECK_MSG(opts.v > 0, "v " << opts.v);
+  ExecutionPlan plan;
+  plan.model = model.name;
+  plan.gpu = GetGpuSpec(opts.arch).name;
+  plan.options = opts;
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    plan.layers.push_back(
+        PlanLayer(model.layers[i], static_cast<int>(i), opts));
+  }
+  return plan;
+}
+
+double ExecutionPlan::ModeledTotalSeconds() const {
+  double total = 0.0;
+  for (const LayerPlan& l : layers) total += l.modeled_s * l.repeat;
+  return total;
+}
+
+double ExecutionPlan::ModeledDenseSeconds() const {
+  double total = 0.0;
+  for (const LayerPlan& l : layers) total += l.modeled_dense_s * l.repeat;
+  return total;
+}
+
+}  // namespace runtime
+}  // namespace shflbw

@@ -1,0 +1,98 @@
+// The planning phase of the runtime: ranks every feasible format for
+// every layer with the arch cost model (the same roofline the Fig. 6
+// sweeps use) and selects the fastest, producing an ExecutionPlan the
+// engine packs and executes. Planning is pure and deterministic — the
+// same model + planner options always yield the same plan — so a plan
+// can be computed once and reused across Run calls; the optional
+// empirical autotune pass (engine.h) re-ranks the top candidates by
+// measured time afterwards.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_spec.h"
+#include "runtime/format.h"
+#include "runtime/model_desc.h"
+
+namespace shflbw {
+namespace runtime {
+
+struct PlannerOptions {
+  /// Target kept density for sparse formats (alpha of §6.1).
+  double density = 0.25;
+  /// Vector / block granularity V for BSR, VW and Shfl-BW. The paper
+  /// evaluates V in [32, 128]; below 16 the 16-row MMA granularity
+  /// leaves tensor-core lanes idle and the vector formats rarely win.
+  /// Layers whose m (or k, for BSR) V does not divide fall back to the
+  /// other formats.
+  int v = 32;
+  /// GPU whose cost model drives the ranking.
+  GpuArch arch = GpuArch::kV100;
+  /// Pin every layer to one format (the all-dense baseline engine).
+  std::optional<Format> force_format;
+  /// Formats the selector must not use. The speed ranking is
+  /// quality-blind, so callers enforce accuracy constraints here (e.g.
+  /// exclude kBsr and kCsr to restrict selection to the patterns Table 1
+  /// shows retain quality at high sparsity). kDense is never excluded —
+  /// it is the universal fallback every layer can execute.
+  std::vector<Format> exclude;
+  /// Empirical re-ranking of the top candidates (engine-side; the pure
+  /// planner ignores these).
+  bool autotune = false;
+  int autotune_top_k = 2;
+};
+
+/// One (layer, format) evaluation.
+struct FormatCandidate {
+  Format format = Format::kDense;
+  bool feasible = false;
+  double modeled_s = 0;   // cost-model seconds; valid iff feasible
+  double measured_s = 0;  // autotune wall-clock seconds; 0 = not timed
+  std::string why;        // reason when infeasible
+};
+
+/// The decision for one layer.
+struct LayerPlan {
+  std::string name;
+  int layer = 0;  // index into ModelDesc::layers
+  int repeat = 1;
+  Format format = Format::kDense;  // the winner
+  double modeled_s = 0;            // winner's modelled seconds
+  double modeled_dense_s = 0;      // dense baseline, same layer
+  bool autotuned = false;          // winner picked by measurement
+  /// Every format, feasible candidates first, ranked fastest-first.
+  std::vector<FormatCandidate> candidates;
+};
+
+/// A compiled schedule: one decision per model layer.
+struct ExecutionPlan {
+  std::string model;
+  std::string gpu;
+  PlannerOptions options;
+  std::vector<LayerPlan> layers;
+
+  /// Repeat-weighted modelled seconds of the plan / of all-dense.
+  double ModeledTotalSeconds() const;
+  double ModeledDenseSeconds() const;
+};
+
+/// Cost-model seconds of `format` on layer `l`, or nullopt with the
+/// reason when the (format, layer, options) combination is undefined.
+/// Convolution layers are only executable dense, vector-wise or
+/// Shfl-BW ("the baselines all lack implementation for convolution",
+/// §6.2); 2:4 requires the A100 at density exactly 0.5.
+std::optional<double> ModeledLayerSeconds(const LayerDesc& l, Format format,
+                                          const PlannerOptions& opts,
+                                          std::string* why = nullptr);
+
+/// Ranks all formats for one layer (deterministic).
+LayerPlan PlanLayer(const LayerDesc& l, int index,
+                    const PlannerOptions& opts);
+
+/// Plans the whole model (deterministic).
+ExecutionPlan PlanModel(const ModelDesc& model, const PlannerOptions& opts);
+
+}  // namespace runtime
+}  // namespace shflbw

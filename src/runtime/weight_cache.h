@@ -1,0 +1,71 @@
+// The packing phase of the runtime: converts a layer's master weight
+// into the selected format exactly once and keeps the packed bytes
+// keyed by (layer, format), so repeated Run calls — and the autotune
+// pass, which packs several candidates per layer — never re-convert.
+// This is the offline processing of Fig. 4 step (a) hoisted out of the
+// execution path.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "common/matrix.h"
+#include "format/balanced24.h"
+#include "format/bsr.h"
+#include "format/csr.h"
+#include "format/shfl_bw.h"
+#include "format/vector_wise.h"
+#include "runtime/format.h"
+
+namespace shflbw {
+namespace runtime {
+
+/// A weight converted and pruned for one format. Only the member
+/// matching `format` is populated (dense additionally holds the
+/// fp16-rounded master for Format::kDense).
+struct PackedWeight {
+  Format format = Format::kDense;
+  Matrix<float> dense;
+  CsrMatrix csr;
+  BsrMatrix bsr;
+  Balanced24Matrix balanced24;
+  VectorWiseMatrix vw;
+  ShflBwMatrix shflbw;
+  double pack_seconds = 0;  // wall-clock spent pruning + converting
+};
+
+/// Pack-once cache keyed by (layer index, format).
+class PackedWeightCache {
+ public:
+  /// Returns the packed weight, converting `master` on first use.
+  /// `density` and `v` parameterize the sparse prune (they are fixed
+  /// per engine, so they are not part of the key).
+  const PackedWeight& GetOrPack(int layer, Format format,
+                                const Matrix<float>& master, double density,
+                                int v);
+
+  bool Contains(int layer, Format format) const {
+    return cache_.count({layer, static_cast<int>(format)}) > 0;
+  }
+
+  /// Number of conversions performed over the cache's lifetime. The
+  /// engine snapshots this around Run to prove steady-state runs pack
+  /// nothing.
+  std::size_t TotalPacks() const { return packs_; }
+  std::size_t Size() const { return cache_.size(); }
+  void Clear() { cache_.clear(); }
+
+ private:
+  std::map<std::pair<int, int>, PackedWeight> cache_;
+  std::size_t packs_ = 0;
+};
+
+/// Prunes `master` to `format` at (density, v) and converts the result
+/// into the packed representation. Deterministic (the Shfl-BW search
+/// seed is fixed).
+PackedWeight PackWeight(Format format, const Matrix<float>& master,
+                        double density, int v);
+
+}  // namespace runtime
+}  // namespace shflbw

@@ -3,6 +3,9 @@
 // the thread-count resolution order (override > env > hardware).
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,6 +84,55 @@ TEST(ParallelFor, ExceptionPropagatesToCaller) {
                     }),
         std::runtime_error);
   }
+}
+
+TEST(ParallelFor, PersistentWorkersAreReused) {
+  ThreadGuard guard;
+  SetParallelThreads(4);
+  // Two regions at the same thread count must draw on the same parked
+  // workers: the union of participating thread ids over both calls stays
+  // within the resolved team size (caller + 3 workers). A fork-join
+  // implementation could show up to 7 distinct ids here.
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  auto collect = [&](std::int64_t, std::int64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  };
+  for (int call = 0; call < 2; ++call) {
+    ParallelFor(0, 64, 1, collect);
+  }
+  EXPECT_LE(ids.size(), 4u);
+}
+
+TEST(ParallelFor, RegionNeverExceedsResolvedThreadCount) {
+  ThreadGuard guard;
+  // Grow the pool large, then shrink the resolved count: the smaller
+  // region must not be joined by the extra parked workers.
+  SetParallelThreads(8);
+  ParallelFor(0, 256, 1, [](std::int64_t, std::int64_t) {});
+  SetParallelThreads(3);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  ParallelFor(0, 256, 1, [&](std::int64_t, std::int64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_LE(ids.size(), 3u);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  ThreadGuard guard;
+  SetParallelThreads(4);
+  // A ParallelFor issued from inside a region must not deadlock on the
+  // pool; it degrades to a serial call on the issuing thread.
+  std::atomic<int> inner_total{0};
+  ParallelFor(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    ParallelFor(0, 10, 2, [&](std::int64_t lo, std::int64_t hi) {
+      inner_total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
 }
 
 TEST(ThreadCount, OverrideBeatsEnvBeatsHardware) {

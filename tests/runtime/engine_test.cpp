@@ -1,0 +1,127 @@
+// Engine contract: pack-once steady state (second Run performs zero
+// conversions), bit-identical outputs at 1/2/8 threads, deterministic
+// results across engine instances, and end-to-end execution of all
+// three evaluation models.
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "runtime/engine.h"
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() { SetParallelThreads(0); }
+};
+
+EngineOptions SmallOptions() {
+  EngineOptions opts;
+  opts.planner.density = 0.25;
+  opts.planner.v = 8;
+  return opts;
+}
+
+ModelDesc SmallTransformer() {
+  TransformerConfig cfg;
+  cfg.d_model = 64;
+  cfg.d_ff = 128;
+  cfg.batch_tokens = 32;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  return ModelDesc::Transformer(cfg);
+}
+
+TEST(Engine, SecondRunPerformsZeroConversions) {
+  Engine engine(SmallTransformer(), SmallOptions());
+  const RunResult first = engine.Run();
+  EXPECT_GT(first.packs_performed, 0u);
+  const std::size_t packs_after_first = engine.cache().TotalPacks();
+
+  const RunResult second = engine.Run();
+  EXPECT_EQ(second.packs_performed, 0u);
+  EXPECT_EQ(engine.cache().TotalPacks(), packs_after_first);
+  // Steady-state output is identical to the first run's.
+  EXPECT_EQ(first.output, second.output);
+}
+
+TEST(Engine, BitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  SetParallelThreads(1);
+  Engine e1(SmallTransformer(), SmallOptions());
+  const Matrix<float> ref = e1.Run().output;
+  for (int threads : {2, 8}) {
+    SetParallelThreads(threads);
+    Engine en(SmallTransformer(), SmallOptions());
+    EXPECT_EQ(en.Run().output, ref) << threads << " threads";
+  }
+}
+
+TEST(Engine, DeterministicAcrossInstances) {
+  Engine a(SmallTransformer(), SmallOptions());
+  Engine b(SmallTransformer(), SmallOptions());
+  EXPECT_EQ(a.Run().output, b.Run().output);
+  // Same plan, too.
+  const ExecutionPlan& pa = a.Plan();
+  const ExecutionPlan& pb = b.Plan();
+  ASSERT_EQ(pa.layers.size(), pb.layers.size());
+  for (std::size_t i = 0; i < pa.layers.size(); ++i) {
+    EXPECT_EQ(pa.layers[i].format, pb.layers[i].format);
+  }
+}
+
+TEST(Engine, RunsAllThreeEvaluationModels) {
+  const std::vector<ModelDesc> models = {
+      SmallTransformer(),
+      ModelDesc::Gnmt(GnmtConfig{64, 32, 2, 2, 0}),
+      ModelDesc::ResNet50(ResNet50Config{1, 32}),
+  };
+  for (const ModelDesc& model : models) {
+    Engine engine(model, SmallOptions());
+    const RunResult r = engine.Run();
+    EXPECT_EQ(r.layers.size(), model.layers.size()) << model.name;
+    EXPECT_GT(r.output.size(), 0u) << model.name;
+    for (const LayerRunRecord& rec : r.layers) {
+      EXPECT_GT(rec.useful_flops, 0.0) << model.name << " " << rec.name;
+      EXPECT_GT(rec.modeled_s, 0.0) << model.name << " " << rec.name;
+    }
+    // Outputs must be finite (the inter-layer RMS normalization keeps
+    // activations inside fp16 range).
+    for (float x : r.output.storage()) ASSERT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(Engine, ForcedDenseMatchesPlan) {
+  EngineOptions opts = SmallOptions();
+  opts.planner.force_format = Format::kDense;
+  Engine engine(SmallTransformer(), opts);
+  const RunResult r = engine.Run();
+  for (const LayerRunRecord& rec : r.layers) {
+    EXPECT_EQ(rec.format, Format::kDense);
+  }
+}
+
+TEST(Engine, AutotunePacksAtPlanTimeAndKeepsRunsCacheOnly) {
+  EngineOptions opts = SmallOptions();
+  opts.planner.autotune = true;
+  opts.planner.autotune_top_k = 2;
+  Engine engine(SmallTransformer(), opts);
+  engine.Plan();  // autotune packs the timed candidates
+  const std::size_t packs_after_plan = engine.cache().TotalPacks();
+  EXPECT_GT(packs_after_plan, 0u);
+  const RunResult r = engine.Run();
+  // Every executed format was already packed during autotune.
+  EXPECT_EQ(r.packs_performed, 0u);
+  // Timed candidates carry their measurements.
+  bool any_measured = false;
+  for (const LayerPlan& lp : engine.Plan().layers) {
+    for (const FormatCandidate& c : lp.candidates) {
+      if (c.measured_s > 0) any_measured = true;
+    }
+  }
+  EXPECT_TRUE(any_measured);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace shflbw

@@ -1,0 +1,164 @@
+// Planner contract tests: schedule determinism, feasibility
+// constraints, force_format pinning, and the cost-model preference for
+// sparse formats on the paper's sparse-friendly NLP shapes.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "runtime/planner.h"
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+TransformerConfig SmallTransformer() {
+  TransformerConfig cfg;
+  cfg.d_model = 64;
+  cfg.d_ff = 128;
+  cfg.batch_tokens = 32;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  return cfg;
+}
+
+TEST(Planner, SamePlanTwice) {
+  const ModelDesc model = ModelDesc::Transformer(SmallTransformer());
+  PlannerOptions opts;
+  opts.density = 0.25;
+  opts.v = 8;
+  const ExecutionPlan a = PlanModel(model, opts);
+  const ExecutionPlan b = PlanModel(model, opts);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].format, b.layers[i].format);
+    EXPECT_EQ(a.layers[i].modeled_s, b.layers[i].modeled_s);
+    ASSERT_EQ(a.layers[i].candidates.size(), b.layers[i].candidates.size());
+    for (std::size_t c = 0; c < a.layers[i].candidates.size(); ++c) {
+      EXPECT_EQ(a.layers[i].candidates[c].format,
+                b.layers[i].candidates[c].format);
+      EXPECT_EQ(a.layers[i].candidates[c].modeled_s,
+                b.layers[i].candidates[c].modeled_s);
+    }
+  }
+}
+
+TEST(Planner, PlanDiffersAcrossGpus) {
+  // Not required to differ, but the gpu tag and dense baselines must
+  // reflect the requested spec.
+  const ModelDesc model = ModelDesc::Transformer(SmallTransformer());
+  PlannerOptions v100;
+  PlannerOptions t4;
+  t4.arch = GpuArch::kT4;
+  EXPECT_EQ(PlanModel(model, v100).gpu, "V100");
+  EXPECT_EQ(PlanModel(model, t4).gpu, "T4");
+}
+
+TEST(Planner, ForceFormatPinsEveryLayer) {
+  const ModelDesc model = ModelDesc::Transformer(SmallTransformer());
+  PlannerOptions opts;
+  opts.force_format = Format::kDense;
+  const ExecutionPlan plan = PlanModel(model, opts);
+  for (const LayerPlan& l : plan.layers) {
+    EXPECT_EQ(l.format, Format::kDense);
+    EXPECT_EQ(l.modeled_s, l.modeled_dense_s);
+  }
+}
+
+TEST(Planner, SparseWinsOnNlpShapesAtQuarterDensity) {
+  // The acceptance-criterion property at plan level: at 25% density the
+  // auto plan must beat the all-dense plan on Transformer and GNMT.
+  for (const ModelDesc& model :
+       {ModelDesc::Transformer(SmallTransformer()),
+        ModelDesc::Gnmt(GnmtConfig{64, 32, 2, 2, 0})}) {
+    PlannerOptions opts;
+    opts.density = 0.25;
+    opts.v = 8;
+    const ExecutionPlan plan = PlanModel(model, opts);
+    EXPECT_LT(plan.ModeledTotalSeconds(), plan.ModeledDenseSeconds())
+        << model.name;
+  }
+}
+
+TEST(Planner, ExcludedFormatsAreNeverSelected) {
+  const ModelDesc model = ModelDesc::Transformer(SmallTransformer());
+  PlannerOptions opts;
+  opts.density = 0.25;
+  opts.v = 8;
+  opts.exclude = {Format::kBsr, Format::kCsr};
+  const ExecutionPlan plan = PlanModel(model, opts);
+  for (const LayerPlan& l : plan.layers) {
+    EXPECT_NE(l.format, Format::kBsr) << l.name;
+    EXPECT_NE(l.format, Format::kCsr) << l.name;
+  }
+  // Dense is the universal fallback and cannot be excluded.
+  opts.exclude = AllFormats();
+  for (const LayerPlan& l : PlanModel(model, opts).layers) {
+    EXPECT_EQ(l.format, Format::kDense) << l.name;
+  }
+}
+
+TEST(Planner, Balanced24NeedsA100AndHalfDensity) {
+  LayerDesc l;
+  l.gemm = {"fc", 64, 32, 64};
+  PlannerOptions opts;
+  opts.density = 0.5;
+  opts.arch = GpuArch::kV100;
+  std::string why;
+  EXPECT_FALSE(
+      ModeledLayerSeconds(l, Format::kBalanced24, opts, &why).has_value());
+  EXPECT_EQ(why, "sparse tensor-core is A100-only");
+
+  opts.arch = GpuArch::kA100;
+  EXPECT_TRUE(
+      ModeledLayerSeconds(l, Format::kBalanced24, opts).has_value());
+
+  opts.density = 0.25;
+  EXPECT_FALSE(
+      ModeledLayerSeconds(l, Format::kBalanced24, opts, &why).has_value());
+  EXPECT_EQ(why, "2:4 fixes density at 0.5");
+}
+
+TEST(Planner, VectorFormatsNeedDivisibleM) {
+  LayerDesc l;
+  l.gemm = {"odd", 60, 32, 64};  // 60 % 8 != 0
+  PlannerOptions opts;
+  opts.v = 8;
+  std::string why;
+  for (Format f : {Format::kVectorWise, Format::kShflBw, Format::kBsr}) {
+    EXPECT_FALSE(ModeledLayerSeconds(l, f, opts, &why).has_value())
+        << FormatName(f);
+  }
+  // Dense and CSR stay feasible, so planning still succeeds.
+  const LayerPlan plan = PlanLayer(l, 0, opts);
+  EXPECT_TRUE(plan.format == Format::kDense || plan.format == Format::kCsr);
+}
+
+TEST(Planner, ConvLayersOnlyOfferConvCapableFormats) {
+  const ModelDesc model = ModelDesc::ResNet50(ResNet50Config{1, 32});
+  PlannerOptions opts;
+  opts.density = 0.25;
+  opts.v = 8;
+  const ExecutionPlan plan = PlanModel(model, opts);
+  ASSERT_FALSE(plan.layers.empty());
+  for (const LayerPlan& l : plan.layers) {
+    for (const FormatCandidate& c : l.candidates) {
+      if (c.format == Format::kCsr || c.format == Format::kBsr ||
+          c.format == Format::kBalanced24) {
+        EXPECT_FALSE(c.feasible) << l.name << " " << FormatName(c.format);
+      }
+    }
+    EXPECT_TRUE(l.format == Format::kDense ||
+                l.format == Format::kVectorWise ||
+                l.format == Format::kShflBw);
+  }
+}
+
+TEST(Format, NamesRoundTrip) {
+  for (Format f : AllFormats()) {
+    EXPECT_EQ(ParseFormat(FormatName(f)), f);
+  }
+  EXPECT_THROW(ParseFormat("nope"), Error);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace shflbw

@@ -1,0 +1,74 @@
+// PackedWeightCache contract: pack exactly once per (layer, format),
+// and every packed representation expands back to the pruned weight it
+// stores.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+#include "runtime/weight_cache.h"
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+TEST(PackedWeightCache, PacksOncePerKey) {
+  Rng rng(7);
+  const Matrix<float> master = rng.NormalMatrix(32, 32);
+  PackedWeightCache cache;
+  EXPECT_EQ(cache.TotalPacks(), 0u);
+
+  const PackedWeight& a = cache.GetOrPack(0, Format::kCsr, master, 0.25, 8);
+  EXPECT_EQ(cache.TotalPacks(), 1u);
+  const PackedWeight& b = cache.GetOrPack(0, Format::kCsr, master, 0.25, 8);
+  EXPECT_EQ(cache.TotalPacks(), 1u);
+  EXPECT_EQ(&a, &b);  // same cached object, no re-conversion
+
+  cache.GetOrPack(0, Format::kVectorWise, master, 0.25, 8);
+  EXPECT_EQ(cache.TotalPacks(), 2u);
+  cache.GetOrPack(1, Format::kCsr, master, 0.25, 8);
+  EXPECT_EQ(cache.TotalPacks(), 3u);
+  EXPECT_EQ(cache.Size(), 3u);
+  EXPECT_TRUE(cache.Contains(0, Format::kCsr));
+  EXPECT_FALSE(cache.Contains(1, Format::kVectorWise));
+}
+
+TEST(PackWeight, RepresentationsMatchTheirPrunes) {
+  Rng rng(11);
+  const Matrix<float> master = rng.NormalMatrix(32, 32);
+  const double density = 0.25;
+  const int v = 8;
+
+  EXPECT_EQ(PackWeight(Format::kDense, master, density, v).dense,
+            RoundThroughFp16(master));
+  EXPECT_EQ(PackWeight(Format::kCsr, master, density, v).csr.ToDense(),
+            PruneUnstructured(master, density));
+  EXPECT_EQ(PackWeight(Format::kVectorWise, master, density, v).vw.ToDense(),
+            PruneVectorWise(master, density, v));
+  // Shfl-BW: the packed matrix must expand to a mask-consistent subset
+  // of the master in original row order.
+  const ShflBwMatrix shfl =
+      PackWeight(Format::kShflBw, master, density, v).shflbw;
+  const Matrix<float> dense = shfl.ToDense();
+  ASSERT_EQ(dense.rows(), master.rows());
+  for (int r = 0; r < dense.rows(); ++r) {
+    for (int c = 0; c < dense.cols(); ++c) {
+      if (dense(r, c) != 0.0f) {
+        EXPECT_EQ(dense(r, c), master(r, c));
+      }
+    }
+  }
+}
+
+TEST(PackWeight, DeterministicAcrossCalls) {
+  Rng rng(13);
+  const Matrix<float> master = rng.NormalMatrix(64, 64);
+  const PackedWeight a = PackWeight(Format::kShflBw, master, 0.25, 8);
+  const PackedWeight b = PackWeight(Format::kShflBw, master, 0.25, 8);
+  EXPECT_EQ(a.shflbw.ToDense(), b.shflbw.ToDense());
+  EXPECT_EQ(a.shflbw.storage_to_original, b.shflbw.storage_to_original);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace shflbw
