@@ -1,0 +1,280 @@
+// Batch-serving benchmark: the scale-out analogue of bench_e2e.
+//
+// Serves M whole-model inference requests (distinct activation seeds)
+// through a BatchServer and sweeps the two serving knobs: replica count
+// (how many Engine instances share the partitioned worker pool) and
+// batch size (how many requests are kept in flight at once). Reports
+// throughput and p50/p99 request latency per configuration, the
+// 1-replica vs N-replica scaling curve, and verifies that every served
+// output is bit-identical to a serial single-engine run of the same
+// seed — concurrency must never change a single bit of any answer.
+//
+// Flags: --smoke (tiny config, few requests — CI harness check)
+//        --out=FILE (default BENCH_serving.json)
+//        --requests=N (default 32 per configuration)
+//        --gpu=V100|T4|A100 (planner cost model, default V100)
+//        --density=A (kept density, default 0.25)
+//        --v=N (vector/block granularity, default 8)
+//
+// Exit status: non-zero if any output mismatches the serial reference,
+// or if, outside --smoke on a >=2-core box, the best multi-replica
+// throughput fails to strictly beat the best single-replica throughput
+// (the PR's acceptance criterion).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "runtime/server.h"
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+struct ConfigResult {
+  int replicas = 1;
+  int batch = 1;
+  int requests = 0;
+  double wall_seconds = 0;
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  bool bit_identical = true;
+};
+
+double Percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+std::uint64_t SeedOf(int i) {
+  return 0xbeadULL + static_cast<std::uint64_t>(i);
+}
+
+/// Serves `requests` seeds through a fresh warmed server, keeping at
+/// most `batch` in flight, and checks outputs against `ref`.
+ConfigResult ServeConfig(const ModelDesc& model, const ServerOptions& opts,
+                         int batch, int requests,
+                         const std::map<std::uint64_t, Matrix<float>>& ref) {
+  ConfigResult r;
+  r.replicas = opts.replicas;
+  r.batch = batch;
+  r.requests = requests;
+
+  BatchServer server(model, opts);
+  server.Warmup();  // pack phase excluded from serving measurements
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(requests));
+  const double t0 = NowSeconds();
+  for (int submitted = 0; submitted < requests;) {
+    const int wave = std::min(batch, requests - submitted);
+    std::vector<std::future<Response>> futures;
+    futures.reserve(static_cast<std::size_t>(wave));
+    for (int i = 0; i < wave; ++i) {
+      Request req;
+      req.activation_seed = SeedOf(submitted + i);
+      futures.push_back(server.Submit(req));
+    }
+    for (int i = 0; i < wave; ++i) {
+      Response resp = futures[static_cast<std::size_t>(i)].get();
+      latencies_ms.push_back((resp.queue_seconds + resp.run_seconds) * 1e3);
+      if (resp.output != ref.at(SeedOf(submitted + i))) {
+        r.bit_identical = false;
+      }
+    }
+    submitted += wave;
+  }
+  r.wall_seconds = NowSeconds() - t0;
+  r.throughput_rps =
+      r.wall_seconds > 0 ? requests / r.wall_seconds : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  r.p50_ms = Percentile(latencies_ms, 0.50);
+  r.p99_ms = Percentile(latencies_ms, 0.99);
+  return r;
+}
+
+bool WriteJson(const std::string& path, const ModelDesc& model,
+               const std::string& config, const ServerOptions& base,
+               int requests, const std::vector<ConfigResult>& results,
+               double single_rps, double multi_rps, int multi_replicas,
+               bool all_identical) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"model\": \"%s\",\n  \"config\": \"%s\",\n",
+               model.name.c_str(), config.c_str());
+  std::fprintf(f, "  \"gpu\": \"%s\",\n",
+               GetGpuSpec(base.engine.planner.arch).name.c_str());
+  std::fprintf(f, "  \"density\": %.3f,\n  \"v\": %d,\n",
+               base.engine.planner.density, base.engine.planner.v);
+  std::fprintf(f, "  \"threads\": %d,\n", ParallelThreadCount());
+  std::fprintf(f, "  \"requests_per_config\": %d,\n", requests);
+  std::fprintf(f, "  \"note\": \"throughput is closed-loop with `batch` "
+               "requests in flight; latency is submit-to-completion; every "
+               "output is compared against a serial single-engine run of "
+               "the same seed\",\n");
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"replicas\": %d, \"batch\": %d, \"requests\": %d, "
+                 "\"wall_s\": %.4f, \"throughput_rps\": %.3f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"bit_identical\": %s}%s\n",
+                 r.replicas, r.batch, r.requests, r.wall_seconds,
+                 r.throughput_rps, r.p50_ms, r.p99_ms,
+                 r.bit_identical ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // The >=2-partition scaling claim is only measurable with >=2 cores:
+  // on a 1-core box every configuration time-slices and the curve is
+  // flat-to-negative by construction. CI runs this binary on a
+  // multi-core runner, where the exit code enforces multi > single.
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scaling\": {\"single_replica_rps\": %.3f, "
+               "\"best_multi_replica_rps\": %.3f, "
+               "\"best_multi_replicas\": %d, "
+               "\"multi_vs_single_speedup\": %.3f, "
+               "\"cores\": %d, \"partitions_available\": %s},\n",
+               single_rps, multi_rps, multi_replicas,
+               single_rps > 0 ? multi_rps / single_rps : 0.0, cores,
+               cores >= 2 ? "true" : "false");
+  std::fprintf(f, "  \"bit_identical\": %s\n}\n",
+               all_identical ? "true" : "false");
+  std::fclose(f);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  int requests = 32;
+  std::string out = "BENCH_serving.json";
+  ServerOptions base;
+  base.engine.planner.density = 0.25;
+  base.engine.planner.v = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    else if (std::strncmp(argv[i], "--requests=", 11) == 0)
+      requests = std::max(1, std::atoi(argv[i] + 11));
+    else if (std::strncmp(argv[i], "--gpu=", 6) == 0)
+      base.engine.planner.arch = ParseGpuArch(argv[i] + 6);
+    else if (std::strncmp(argv[i], "--density=", 10) == 0)
+      base.engine.planner.density = std::atof(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--v=", 4) == 0)
+      base.engine.planner.v = std::max(1, std::atoi(argv[i] + 4));
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (smoke) requests = std::min(requests, 8);
+
+  // Small GEMM layers on purpose: per-kernel parallelism is limited at
+  // serving shapes, so request-level parallelism (replicas on disjoint
+  // pool partitions) is where the remaining cores come from — the
+  // regime the BatchServer exists for.
+  TransformerConfig cfg{64, 256, 32, 1, 1};
+  std::string config = "d_model=64,d_ff=256,tokens=32,enc=1,dec=1";
+  if (smoke) {
+    cfg = TransformerConfig{32, 64, 16, 1, 1};
+    config = "d_model=32,d_ff=64,tokens=16,enc=1,dec=1";
+  }
+  const ModelDesc model = ModelDesc::Transformer(cfg);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("bench_serving: %s (%s), %d request(s)/config, %d core(s)\n",
+              model.name.c_str(), config.c_str(), requests, hw);
+
+  // Serial reference outputs, one per seed: the determinism yardstick
+  // every served response is compared against bit-for-bit.
+  std::map<std::uint64_t, Matrix<float>> ref;
+  {
+    SetParallelThreads(1);
+    Engine engine(model, base.engine);
+    for (int i = 0; i < requests; ++i) {
+      ref.emplace(SeedOf(i), engine.Run(SeedOf(i)).output);
+    }
+    SetParallelThreads(0);  // back to env/auto for the serving sweeps
+  }
+
+  std::vector<int> replica_counts = {1, 2, 4};
+  std::vector<int> batches = smoke ? std::vector<int>{4}
+                                   : std::vector<int>{1, 8, 32};
+  std::vector<ConfigResult> results;
+  std::printf("\n  %8s %6s %10s %12s %10s %10s %10s\n", "replicas", "batch",
+              "requests", "wall_s", "rps", "p50_ms", "p99_ms");
+  for (int replicas : replica_counts) {
+    for (int batch : batches) {
+      ServerOptions opts = base;
+      opts.replicas = replicas;
+      opts.queue_capacity =
+          std::max<std::size_t>(64, static_cast<std::size_t>(batch));
+      results.push_back(ServeConfig(model, opts, batch, requests, ref));
+      const ConfigResult& r = results.back();
+      std::printf("  %8d %6d %10d %12.4f %10.2f %10.3f %10.3f%s\n",
+                  r.replicas, r.batch, r.requests, r.wall_seconds,
+                  r.throughput_rps, r.p50_ms, r.p99_ms,
+                  r.bit_identical ? "" : "  OUTPUT MISMATCH");
+    }
+  }
+
+  bool all_identical = true;
+  double single_rps = 0, multi_rps = 0;
+  int multi_replicas = 0;
+  for (const ConfigResult& r : results) {
+    all_identical = all_identical && r.bit_identical;
+    if (r.replicas == 1) {
+      single_rps = std::max(single_rps, r.throughput_rps);
+    } else if (r.throughput_rps > multi_rps) {
+      multi_rps = r.throughput_rps;
+      multi_replicas = r.replicas;
+    }
+  }
+  std::printf("\n  scaling: single-replica %.2f rps, best multi-replica "
+              "%.2f rps (x%d replicas) -> %.2fx\n",
+              single_rps, multi_rps, multi_replicas,
+              single_rps > 0 ? multi_rps / single_rps : 0.0);
+
+  const bool wrote = WriteJson(out, model, config, base, requests, results,
+                               single_rps, multi_rps, multi_replicas,
+                               all_identical);
+  if (wrote) std::printf("\nwrote %s\n", out.c_str());
+
+  bool ok = wrote;
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: served outputs diverged from the serial "
+                 "reference\n");
+    ok = false;
+  }
+  // Acceptance: with >=2 worker partitions available, multi-replica
+  // throughput must strictly beat single-replica. Smoke shapes are too
+  // small for a stable margin, so the check runs on the full config.
+  if (!smoke && hw >= 2 && multi_rps <= single_rps) {
+    std::fprintf(stderr, "FAIL: multi-replica throughput (%.2f rps) did "
+                 "not beat single-replica (%.2f rps)\n",
+                 multi_rps, single_rps);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace shflbw
+
+int main(int argc, char** argv) { return shflbw::runtime::Main(argc, argv); }

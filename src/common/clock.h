@@ -1,0 +1,16 @@
+// Monotonic wall-clock helper shared by the runtime and the benches.
+#pragma once
+
+#include <chrono>
+
+namespace shflbw {
+
+/// Seconds on the steady (monotonic) clock; differences are wall-clock
+/// durations, the absolute value has no epoch meaning.
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace shflbw

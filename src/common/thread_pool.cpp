@@ -29,7 +29,8 @@ int EnvThreads() {
 }
 
 /// One parallel region: a chunked [begin, end) range drained through an
-/// atomic claim counter by the caller and any pool workers that join.
+/// atomic claim counter by the caller and any pool workers assigned to
+/// its partition.
 struct Job {
   const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
   std::int64_t begin = 0;
@@ -40,6 +41,10 @@ struct Job {
   std::atomic<bool> failed{false};
   std::exception_ptr error;
   std::mutex error_mu;
+  /// Pool workers currently assigned to this job (guarded by the pool
+  /// mutex). The caller waits for it to reach zero before returning, so
+  /// no worker still references the stack-allocated Job afterwards.
+  int attached = 0;
 
   void Drain() {
     while (!failed.load(std::memory_order_relaxed)) {
@@ -64,13 +69,23 @@ struct Job {
 /// parallel region on this thread.
 thread_local bool t_in_parallel_region = false;
 
-/// Lazily-grown persistent worker pool. Workers are spawned the first
-/// time a region asks for them, then parked on a condition variable
-/// between regions, so worker thread_local scratch (the VW-family stage
-/// buffers and accumulators) survives across the many small kernel
-/// launches a multi-layer inference run issues. One region runs at a
-/// time (guarded by run_mu_); concurrent callers serialize, which
-/// matches the library's one-kernel-at-a-time execution model.
+/// Lazily-grown persistent worker pool with region partitioning.
+/// Workers are spawned the first time a region asks for them, then
+/// parked between regions, so worker thread_local scratch (the
+/// VW-family stage buffers and accumulators) survives across the many
+/// small kernel launches a multi-layer inference run issues.
+///
+/// Concurrent ParallelFor regions do NOT serialize: each region claims
+/// a disjoint subset of the idle workers at entry — its partition — and
+/// only those workers drain its chunks. The claim is capped at the
+/// region's proportional share of the pool, max(1, capacity / active
+/// regions), so R concurrent callers (the BatchServer's replicas) each
+/// keep roughly capacity/R workers instead of the first caller starving
+/// the rest. A region that arrives while the pool is fully claimed
+/// simply runs on its calling thread (its partition is empty) — regions
+/// are short and frequent, so shares rebalance at the next region
+/// entry. A worker serves exactly one job at a time, which is what
+/// makes the partitions disjoint by construction.
 class WorkerPool {
  public:
   static WorkerPool& Instance() {
@@ -79,30 +94,54 @@ class WorkerPool {
   }
 
   /// Runs `job` with up to `extra_workers` pool workers assisting the
-  /// calling thread. Returns once every chunk has retired and no worker
-  /// still references `job`. Only workers with index < extra_workers
-  /// join (the quota below), so a region never uses more threads than
-  /// it resolved at entry even after the pool has grown larger for an
-  /// earlier region, and the participating set is deterministic.
+  /// calling thread; fewer (possibly zero) join when other regions hold
+  /// part of the pool. Returns once every chunk has retired and no
+  /// assigned worker still references `job`.
   void Run(Job& job, int extra_workers) {
-    std::lock_guard<std::mutex> run_lock(run_mu_);
     {
       std::lock_guard<std::mutex> lock(mu_);
+      ++active_regions_;
       Grow(extra_workers);
-      job_ = &job;
-      quota_ = extra_workers;
-      ++epoch_;
+      const int capacity = static_cast<int>(slots_.size());
+      const int fair_share = std::max(1, capacity / active_regions_);
+      int claim = std::min(extra_workers, fair_share);
+      for (std::size_t i = 0; i < slots_.size() && claim > 0; ++i) {
+        if (slots_[i].job == nullptr) {
+          slots_[i].job = &job;
+          ++job.attached;
+          --claim;
+        }
+      }
     }
     cv_.notify_all();
     t_in_parallel_region = true;
     job.Drain();
     t_in_parallel_region = false;
     std::unique_lock<std::mutex> lock(mu_);
-    job_ = nullptr;  // workers that have not joined yet never will
-    done_cv_.wait(lock, [&] { return busy_ == 0; });
+    // Reclaim workers that never woke up: their slot still points at
+    // this job but `started` is false, so when they do wake the cleared
+    // slot keeps them parked. The caller then only waits for workers
+    // that actually entered the region (matters for tiny regions whose
+    // chunks all retire before the wakeups land).
+    for (Slot& slot : slots_) {
+      if (slot.job == &job && !slot.started) {
+        slot.job = nullptr;
+        --job.attached;
+      }
+    }
+    done_cv_.wait(lock, [&] { return job.attached == 0; });
+    --active_regions_;
   }
 
  private:
+  /// Assignment slot of one worker: the job its partition belongs to
+  /// (nullptr when idle) and whether the worker has woken up and
+  /// entered that job. Guarded by mu_.
+  struct Slot {
+    Job* job = nullptr;
+    bool started = false;
+  };
+
   WorkerPool() = default;
 
   ~WorkerPool() {
@@ -121,8 +160,10 @@ class WorkerPool {
     while (static_cast<int>(workers_.size()) < wanted) {
       try {
         const int index = static_cast<int>(workers_.size());
+        slots_.resize(workers_.size() + 1);
         workers_.emplace_back([this, index] { WorkerLoop(index); });
       } catch (const std::system_error&) {
+        slots_.resize(workers_.size());
         break;
       }
     }
@@ -130,34 +171,27 @@ class WorkerPool {
 
   void WorkerLoop(int index) {
     t_in_parallel_region = true;  // nested ParallelFor runs serially
-    std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      cv_.wait(lock, [&] {
-        return stop_ ||
-               (job_ != nullptr && epoch_ != seen && index < quota_);
-      });
+      cv_.wait(lock, [&] { return stop_ || slots_[index].job != nullptr; });
       if (stop_) return;
-      seen = epoch_;
-      Job* job = job_;
-      ++busy_;
+      Job* job = slots_[index].job;
+      slots_[index].started = true;
       lock.unlock();
       job->Drain();
       lock.lock();
-      if (--busy_ == 0) done_cv_.notify_all();
+      slots_[index].job = nullptr;
+      slots_[index].started = false;
+      if (--job->attached == 0) done_cv_.notify_all();
     }
   }
 
-  std::mutex run_mu_;  // serializes whole parallel regions
-
   std::mutex mu_;  // guards everything below
-  std::condition_variable cv_;       // workers wait for a new epoch
-  std::condition_variable done_cv_;  // caller waits for busy_ == 0
+  std::condition_variable cv_;       // workers wait for an assignment
+  std::condition_variable done_cv_;  // callers wait for attached == 0
   std::vector<std::thread> workers_;
-  Job* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  int quota_ = 0;  // workers with index < quota_ may join the epoch
-  int busy_ = 0;
+  std::vector<Slot> slots_;  // slots_[i] belongs to workers_[i]
+  int active_regions_ = 0;   // concurrent Run calls, for the fair share
   bool stop_ = false;
 };
 
@@ -172,7 +206,10 @@ int ParallelThreadCount() {
 }
 
 void SetParallelThreads(int n) {
-  g_thread_override.store(std::max(0, n), std::memory_order_relaxed);
+  // Clamp to [0, 1024]: negative requests mean "no override" (0), and
+  // the upper bound matches the env-var cap so neither path can demand
+  // an absurd pool.
+  g_thread_override.store(std::clamp(n, 0, 1024), std::memory_order_relaxed);
 }
 
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,

@@ -22,6 +22,12 @@ int ParallelThreadCount();
 /// Programmatic thread-count override (takes precedence over the env
 /// var). Pass 0 to clear the override and return to env/auto detection.
 /// Used by benchmarks and the determinism tests to sweep thread counts.
+///
+/// Contract: the argument is clamped to [0, 1024]. Negative values are
+/// treated as 0 (clear the override, never an error), and values above
+/// 1024 are capped — the same bound applied to SHFLBW_NUM_THREADS — so
+/// no caller can demand an absurd worker pool. The effective count
+/// ParallelThreadCount() returns is therefore always >= 1.
 void SetParallelThreads(int n);
 
 /// Runs fn over [begin, end) split into chunks of at most `grain`
@@ -38,9 +44,20 @@ void SetParallelThreads(int n);
 /// many small kernel launches a multi-layer inference run issues, and
 /// removes the per-call spawn/join cost the runtime engine would
 /// otherwise pay per layer. Thread-count changes between calls still
-/// work (a region only wakes as many workers as it resolved); nested
+/// work (a region only claims as many workers as it resolved); nested
 /// ParallelFor calls from inside a region run serially on the calling
 /// worker, so kernels stay composable with outer-level parallelism.
+///
+/// Concurrent callers partition the pool instead of serializing: each
+/// region claims a disjoint subset of the idle workers at entry, capped
+/// at its proportional share max(1, pool_capacity / active_regions), so
+/// R simultaneous callers (e.g. BatchServer replicas) genuinely run
+/// side by side on ~capacity/R workers each. A region that finds the
+/// pool fully claimed runs on its calling thread alone; shares
+/// rebalance at every region entry, so short frequent regions converge
+/// to the proportional split. Outputs stay bit-identical to serial
+/// regardless of how workers are partitioned, because chunk index — not
+/// worker identity — determines what is computed.
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& fn);
 

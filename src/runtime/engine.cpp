@@ -1,10 +1,10 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/rng.h"
 #include "kernels/gemm_dense.h"
 #include "kernels/spmm_balanced24.h"
@@ -16,22 +16,19 @@
 
 namespace shflbw {
 namespace runtime {
-namespace {
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 Engine::Engine(ModelDesc model, EngineOptions opts)
+    : Engine(std::move(model), opts, std::make_shared<PackedWeightCache>()) {}
+
+Engine::Engine(ModelDesc model, EngineOptions opts,
+               std::shared_ptr<PackedWeightCache> cache)
     : model_(std::move(model)),
       opts_(opts),
       spec_(GetGpuSpec(opts.planner.arch)),
+      cache_(std::move(cache)),
       masters_(model_.layers.size()) {
   SHFLBW_CHECK_MSG(!model_.layers.empty(), "model has no layers");
+  SHFLBW_CHECK_MSG(cache_ != nullptr, "engine needs a weight cache");
 }
 
 const ExecutionPlan& Engine::Plan() {
@@ -53,8 +50,13 @@ const Matrix<float>& Engine::MasterWeight(int layer) {
 }
 
 const PackedWeight& Engine::Packed(int layer, Format format) {
-  return cache_.GetOrPack(layer, format, MasterWeight(layer),
-                          opts_.planner.density, opts_.planner.v);
+  // Lazy master: a cache hit (the steady state, and every layer of a
+  // replica running behind a shared warmed cache) never synthesizes or
+  // retains the dense master weight.
+  return cache_->GetOrPack(
+      layer, format,
+      [&]() -> const Matrix<float>& { return MasterWeight(layer); },
+      opts_.planner.density, opts_.planner.v);
 }
 
 KernelResult Engine::ExecuteGemm(const PackedWeight& w,
@@ -112,16 +114,18 @@ const Tensor4& Engine::StreamConvInput(const ConvShape& shape) {
   return conv_input_scratch_;
 }
 
-RunResult Engine::Run() {
+RunResult Engine::Run() { return Run(opts_.activation_seed); }
+
+RunResult Engine::Run(std::uint64_t activation_seed) {
   const ExecutionPlan& plan = Plan();
-  const std::size_t packs_before = cache_.TotalPacks();
+  const std::size_t packs_before = cache_->TotalPacks();
 
   RunResult result;
   // Fresh deterministic input stream per Run, so every Run of the same
   // engine (and of any engine with equal seeds) computes identical
   // values regardless of thread count or prior calls.
   {
-    Rng rng(opts_.activation_seed);
+    Rng rng(activation_seed);
     const LayerDesc& first = model_.layers.front();
     const std::size_t need =
         first.kind == LayerKind::kConv
@@ -186,7 +190,7 @@ RunResult Engine::Run() {
     if (i + 1 == model_.layers.size()) result.output = std::move(kr.c);
   }
 
-  result.packs_performed = cache_.TotalPacks() - packs_before;
+  result.packs_performed = cache_->TotalPacks() - packs_before;
   return result;
 }
 

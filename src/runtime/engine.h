@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -69,6 +70,15 @@ class Engine {
  public:
   explicit Engine(ModelDesc model, EngineOptions opts = {});
 
+  /// Constructs an engine packing into an external shared cache. The
+  /// BatchServer uses this to let N replicas of the same model share
+  /// one pack phase: the cache key includes (layer, format, density,
+  /// v), and replicas share (model, options, weight_seed), so every
+  /// replica resolves to the same entries. The cache must outlive the
+  /// engine.
+  Engine(ModelDesc model, EngineOptions opts,
+         std::shared_ptr<PackedWeightCache> cache);
+
   /// Compiles the schedule on first call (cost-model ranking, plus the
   /// empirical autotune pass when options.planner.autotune is set) and
   /// returns the same plan thereafter.
@@ -79,9 +89,16 @@ class Engine {
   /// the cache and perform zero conversions.
   RunResult Run();
 
+  /// Run with an explicit activation seed: the per-request entry point
+  /// the BatchServer uses, so distinct requests stream distinct inputs
+  /// through the same packed weights. Run() == Run(activation_seed from
+  /// the engine options). Deterministic: the same seed on any replica
+  /// (or thread count) yields a bit-identical output matrix.
+  RunResult Run(std::uint64_t activation_seed);
+
   const ModelDesc& model() const { return model_; }
   const EngineOptions& options() const { return opts_; }
-  const PackedWeightCache& cache() const { return cache_; }
+  const PackedWeightCache& cache() const { return *cache_; }
   const GpuSpec& gpu() const { return spec_; }
 
  private:
@@ -117,7 +134,7 @@ class Engine {
   EngineOptions opts_;
   GpuSpec spec_;
   std::optional<ExecutionPlan> plan_;
-  PackedWeightCache cache_;
+  std::shared_ptr<PackedWeightCache> cache_;  // owned unless injected
   std::vector<std::optional<Matrix<float>>> masters_;
 
   // Streaming state + per-engine scratch, reused across layers and Runs.

@@ -1,0 +1,150 @@
+#include "runtime/server.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/clock.h"
+
+namespace shflbw {
+namespace runtime {
+
+BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
+    : opts_(opts), cache_(std::make_shared<PackedWeightCache>()) {
+  SHFLBW_CHECK_MSG(opts_.replicas >= 1, "server needs at least one replica");
+  SHFLBW_CHECK_MSG(opts_.queue_capacity >= 1, "queue capacity must be >= 1");
+  // Autotune re-ranks plans by wall-clock measurement; replicas could
+  // diverge onto different plans, breaking both cache sharing and the
+  // bit-identical guarantee. Force the deterministic planner.
+  opts_.engine.planner.autotune = false;
+
+  engines_.reserve(static_cast<std::size_t>(opts_.replicas));
+  for (int r = 0; r < opts_.replicas; ++r) {
+    engines_.push_back(std::make_unique<Engine>(model, opts_.engine, cache_));
+    // Compile the (deterministic, identical) plan now, while no
+    // scheduler thread exists: Engine::Plan lazily initializes engine
+    // state, and an engine is only ever touched by one thread — its
+    // replica loop — once the threads below start.
+    (void)engines_.back()->Plan();
+  }
+  per_replica_.assign(engines_.size(), 0);
+
+  threads_.reserve(engines_.size());
+  for (int r = 0; r < static_cast<int>(engines_.size()); ++r) {
+    threads_.emplace_back([this, r] { ReplicaLoop(r); });
+  }
+}
+
+BatchServer::~BatchServer() { Shutdown(); }
+
+const ExecutionPlan& BatchServer::Plan() const {
+  // Safe concurrently with serving: every engine's plan was compiled in
+  // the constructor, so this is a read of an already-initialized value.
+  return engines_.front()->Plan();
+}
+
+void BatchServer::Warmup() {
+  // One warmup request through the regular queue: whichever replica
+  // serves it packs every (layer, format) the plan selects into the
+  // shared cache, and all replicas resolve to the same keys, so later
+  // requests perform zero conversions. Going through the scheduler
+  // (instead of touching an engine from this thread) keeps the
+  // one-thread-per-engine invariant even when Warmup is called while
+  // requests are already in flight.
+  (void)Submit(Request{opts_.engine.activation_seed}).get();
+}
+
+std::future<Response> BatchServer::Submit(Request req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [&] { return stop_ || queue_.size() < opts_.queue_capacity; });
+  if (stop_) throw std::runtime_error("BatchServer: submit after shutdown");
+  Pending p;
+  p.req = req;
+  p.id = next_id_++;
+  p.submit_time = NowSeconds();
+  std::future<Response> fut = p.promise.get_future();
+  queue_.push_back(std::move(p));
+  lock.unlock();
+  not_empty_.notify_one();
+  return fut;
+}
+
+bool BatchServer::TrySubmit(Request req, std::future<Response>* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || queue_.size() >= opts_.queue_capacity) return false;
+    Pending p;
+    p.req = req;
+    p.id = next_id_++;
+    p.submit_time = NowSeconds();
+    *out = p.promise.get_future();
+    queue_.push_back(std::move(p));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void BatchServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return completed_ == next_id_; });
+}
+
+void BatchServer::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    to_join.swap(threads_);  // second caller swaps an empty vector
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& th : to_join) th.join();
+}
+
+ServerStats BatchServer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats s;
+  s.submitted = next_id_;
+  s.completed = completed_;
+  s.per_replica = per_replica_;
+  return s;
+}
+
+void BatchServer::ReplicaLoop(int replica) {
+  Engine& engine = *engines_[static_cast<std::size_t>(replica)];
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    // Drain-on-shutdown: keep serving until the queue is empty, so
+    // every future obtained from Submit resolves.
+    if (queue_.empty()) return;  // implies stop_
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+
+    const double dispatch_time = NowSeconds();
+    Response resp;
+    resp.id = p.id;
+    resp.replica = replica;
+    resp.queue_seconds = dispatch_time - p.submit_time;
+    try {
+      RunResult run = engine.Run(p.req.activation_seed);
+      resp.run_seconds = NowSeconds() - dispatch_time;
+      resp.packs_performed = run.packs_performed;
+      resp.output = std::move(run.output);
+      p.promise.set_value(std::move(resp));
+    } catch (...) {
+      p.promise.set_exception(std::current_exception());
+    }
+
+    lock.lock();
+    ++completed_;
+    ++per_replica_[static_cast<std::size_t>(replica)];
+    if (completed_ == next_id_) idle_.notify_all();
+  }
+}
+
+}  // namespace runtime
+}  // namespace shflbw

@@ -1,0 +1,140 @@
+// Batch-serving layer on top of the inference engine: the serving-time
+// shape of the paper's pitch. A BatchServer owns N Engine replicas of
+// one model sharing a single PackedWeightCache (the pack phase is paid
+// once, not once per replica), a bounded MPMC request queue, and one
+// scheduler thread per replica that pops requests as soon as its
+// replica is idle. Underneath, concurrent replica Runs partition the
+// persistent ParallelFor pool (common/thread_pool.h), so R replicas on
+// a C-core box each execute kernels on ~C/R workers side by side
+// instead of time-slicing behind a region lock.
+//
+// Determinism is preserved end to end: a request is a whole-model Run
+// keyed by an activation seed, and its output matrix is bit-identical
+// to running the same seed on a standalone single-threaded Engine — no
+// matter which replica served it or what else was in flight.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.h"
+
+namespace shflbw {
+namespace runtime {
+
+struct ServerOptions {
+  /// Engine replicas == scheduler threads == max requests in flight.
+  int replicas = 2;
+  /// Bound of the request queue (requests admitted but not yet
+  /// dispatched). Submit blocks when the queue is full — backpressure
+  /// instead of unbounded memory growth.
+  std::size_t queue_capacity = 64;
+  /// Options shared by every replica. `planner.autotune` is forced off:
+  /// autotune re-ranks by wall-clock measurement, so replicas could
+  /// diverge onto different plans and the shared-cache + bit-identical
+  /// guarantees would silently break.
+  EngineOptions engine;
+};
+
+/// One unit of work: a whole-model inference pass over the activation
+/// stream seeded by `activation_seed` (the stand-in for a real
+/// request's input tensor, as everywhere else in this repo).
+struct Request {
+  std::uint64_t activation_seed = 0xac71ULL;
+};
+
+struct Response {
+  std::uint64_t id = 0;    // submission order, dense from 0
+  int replica = -1;        // which replica served it
+  Matrix<float> output;    // final layer output (bit-identical to serial)
+  double queue_seconds = 0;  // submit -> dispatch wait
+  double run_seconds = 0;    // dispatch -> completion (Engine::Run)
+  std::size_t packs_performed = 0;  // conversions this run triggered
+};
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::vector<std::uint64_t> per_replica;  // completed, by replica
+};
+
+class BatchServer {
+ public:
+  explicit BatchServer(ModelDesc model, ServerOptions opts = {});
+
+  /// Shuts down: drains everything already submitted, then joins the
+  /// replica threads.
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// The (shared) execution plan. Planning is deterministic, so every
+  /// replica compiled this exact plan in the constructor; reading it is
+  /// safe while requests are in flight.
+  const ExecutionPlan& Plan() const;
+
+  /// Packs every weight the plan selects through the shared cache, so
+  /// the first served requests don't pay conversion latency. Optional —
+  /// the first Run of each layer packs on demand otherwise. Implemented
+  /// as one blocking request through the regular queue, so it is safe
+  /// to call at any time (engines are only ever touched by their own
+  /// replica thread).
+  void Warmup();
+
+  /// Enqueues a request; the future resolves when a replica finishes
+  /// it. Blocks while the queue is at capacity; throws std::runtime_error
+  /// after Shutdown().
+  std::future<Response> Submit(Request req);
+
+  /// Non-blocking Submit: returns false (and leaves *out untouched)
+  /// when the queue is full or the server is shut down.
+  bool TrySubmit(Request req, std::future<Response>* out);
+
+  /// Blocks until every request submitted so far has completed.
+  void Drain();
+
+  /// Stops accepting new requests, drains the queue, joins the replica
+  /// threads. Idempotent; called by the destructor.
+  void Shutdown();
+
+  ServerStats Stats() const;
+  int replicas() const { return static_cast<int>(engines_.size()); }
+  const ServerOptions& options() const { return opts_; }
+  const PackedWeightCache& cache() const { return *cache_; }
+
+ private:
+  struct Pending {
+    Request req;
+    std::uint64_t id = 0;
+    double submit_time = 0;
+    std::promise<Response> promise;
+  };
+
+  void ReplicaLoop(int replica);
+
+  ServerOptions opts_;
+  std::shared_ptr<PackedWeightCache> cache_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;  // replicas wait for work
+  std::condition_variable not_full_;   // Submit waits for queue space
+  std::condition_variable idle_;       // Drain waits for completed==submitted
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::vector<std::uint64_t> per_replica_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace runtime
+}  // namespace shflbw

@@ -48,10 +48,21 @@ PackedWeight PackWeight(Format format, const Matrix<float>& master,
 const PackedWeight& PackedWeightCache::GetOrPack(int layer, Format format,
                                                  const Matrix<float>& master,
                                                  double density, int v) {
-  const std::pair<int, int> key{layer, static_cast<int>(format)};
+  return GetOrPack(
+      layer, format, [&]() -> const Matrix<float>& { return master; },
+      density, v);
+}
+
+const PackedWeight& PackedWeightCache::GetOrPack(
+    int layer, Format format,
+    const std::function<const Matrix<float>&()>& master_fn, double density,
+    int v) {
+  const Key key{layer, static_cast<int>(format), density, v};
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
-    it = cache_.emplace(key, PackWeight(format, master, density, v)).first;
+    it = cache_.emplace(key, PackWeight(format, master_fn(), density, v))
+             .first;
     ++packs_;
   }
   return it->second;

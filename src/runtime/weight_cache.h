@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
-#include <utility>
+#include <mutex>
+#include <tuple>
 
 #include "common/matrix.h"
 #include "format/balanced24.h"
@@ -35,29 +37,63 @@ struct PackedWeight {
   double pack_seconds = 0;  // wall-clock spent pruning + converting
 };
 
-/// Pack-once cache keyed by (layer index, format).
+/// Pack-once cache keyed by (layer index, format, density, v).
+///
+/// Thread-safe: a single cache may be shared by multiple Engine
+/// replicas (the BatchServer does exactly this) calling GetOrPack
+/// concurrently. The prune parameters are part of the key — two engines
+/// sharing the cache with different density or V settings get distinct
+/// entries instead of silently serving each other's packed weights.
+/// Returned references are stable for the lifetime of the cache (map
+/// nodes never move); only Clear() invalidates them, so don't call
+/// Clear() while replicas are running.
 class PackedWeightCache {
  public:
   /// Returns the packed weight, converting `master` on first use.
-  /// `density` and `v` parameterize the sparse prune (they are fixed
-  /// per engine, so they are not part of the key).
+  /// Concurrent callers with the same key pack at most once; the
+  /// conversion itself runs under the cache lock, so replicas warming
+  /// the same model serialize through the pack phase and every later
+  /// lookup is a short locked map find.
   const PackedWeight& GetOrPack(int layer, Format format,
                                 const Matrix<float>& master, double density,
                                 int v);
 
-  bool Contains(int layer, Format format) const {
-    return cache_.count({layer, static_cast<int>(format)}) > 0;
+  /// Lazy-master variant: `master_fn` is invoked only on a cache miss,
+  /// so a hit never materializes the dense master weight. This is what
+  /// lets BatchServer replicas after a warmup serve entirely from the
+  /// shared cache without each synthesizing (and retaining) its own
+  /// copy of every layer's dense weights.
+  const PackedWeight& GetOrPack(
+      int layer, Format format,
+      const std::function<const Matrix<float>&()>& master_fn, double density,
+      int v);
+
+  bool Contains(int layer, Format format, double density, int v) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.count(Key{layer, static_cast<int>(format), density, v}) > 0;
   }
 
   /// Number of conversions performed over the cache's lifetime. The
   /// engine snapshots this around Run to prove steady-state runs pack
   /// nothing.
-  std::size_t TotalPacks() const { return packs_; }
-  std::size_t Size() const { return cache_.size(); }
-  void Clear() { cache_.clear(); }
+  std::size_t TotalPacks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return packs_;
+  }
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
 
  private:
-  std::map<std::pair<int, int>, PackedWeight> cache_;
+  using Key = std::tuple<int, int, double, int>;  // layer, format, density, v
+
+  mutable std::mutex mu_;
+  std::map<Key, PackedWeight> cache_;
   std::size_t packs_ = 0;
 };
 

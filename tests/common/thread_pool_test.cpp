@@ -147,6 +147,128 @@ TEST(ThreadCount, OverrideBeatsEnvBeatsHardware) {
   EXPECT_GE(ParallelThreadCount(), 1);
 }
 
+TEST(ParallelFor, ConcurrentCallersDoNotDeadlock) {
+  ThreadGuard guard;
+  SetParallelThreads(4);
+  // Several std::threads hammering ParallelFor simultaneously: every
+  // region must complete with full index coverage, regardless of how
+  // the pool partitions workers between them.
+  constexpr int kCallers = 4;
+  constexpr int kIters = 50;
+  std::vector<std::int64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int iter = 0; iter < kIters; ++iter) {
+        std::atomic<std::int64_t> sum{0};
+        ParallelFor(0, 500, 7, [&](std::int64_t lo, std::int64_t hi) {
+          std::int64_t local = 0;
+          for (std::int64_t i = lo; i < hi; ++i) local += i;
+          sum.fetch_add(local, std::memory_order_relaxed);
+        });
+        sums[static_cast<std::size_t>(t)] = sum.load();
+      }
+    });
+  }
+  for (std::thread& th : callers) th.join();
+  for (int t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)], 500 * 499 / 2);
+  }
+}
+
+TEST(ParallelFor, ConcurrentRegionsGetDisjointWorkerPartitions) {
+  ThreadGuard guard;
+  // Grow the pool to 7 workers first so two subsequent 4-thread regions
+  // can each claim a real partition (3 workers apiece).
+  SetParallelThreads(8);
+  ParallelFor(0, 256, 1, [](std::int64_t, std::int64_t) {});
+  SetParallelThreads(4);
+
+  // Two callers enter regions that overlap in time (each chunk spins
+  // until both regions have started), then record which threads ran
+  // their chunks. The partitions must be disjoint: a pool worker serves
+  // exactly one region at a time.
+  std::atomic<int> regions_started{0};
+  std::mutex mu;
+  std::set<std::thread::id> ids[2];
+  std::thread::id caller_ids[2];
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 2; ++t) {
+    callers.emplace_back([&, t] {
+      caller_ids[t] = std::this_thread::get_id();
+      regions_started.fetch_add(1);
+      // Both callers enter ParallelFor before either can finish: the
+      // first chunk of each region waits for the other region to exist.
+      ParallelFor(0, 64, 1, [&](std::int64_t, std::int64_t) {
+        while (regions_started.load() < 2) std::this_thread::yield();
+        std::lock_guard<std::mutex> lock(mu);
+        ids[t].insert(std::this_thread::get_id());
+      });
+    });
+  }
+  for (std::thread& th : callers) th.join();
+
+  // Strip each region's own calling thread; what remains are the pool
+  // workers assigned to it.
+  ids[0].erase(caller_ids[0]);
+  ids[1].erase(caller_ids[1]);
+  for (std::thread::id id : ids[0]) {
+    EXPECT_EQ(ids[1].count(id), 0u)
+        << "worker served two concurrent regions";
+  }
+  // Neither region may exceed its resolved team (caller + 3 workers).
+  EXPECT_LE(ids[0].size(), 3u);
+  EXPECT_LE(ids[1].size(), 3u);
+}
+
+TEST(ParallelFor, ConcurrentOutputsAreBitIdenticalToSerial) {
+  ThreadGuard guard;
+  // Reference: serial execution.
+  SetParallelThreads(1);
+  constexpr int kN = 4096;
+  std::vector<float> ref(kN);
+  auto fill = [](std::vector<float>& out, float scale) {
+    ParallelFor(0, kN, 64, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        // Non-trivial float arithmetic: any change in evaluation order
+        // or partitioning that altered per-index work would show up.
+        float x = static_cast<float>(i) * scale;
+        for (int k = 0; k < 8; ++k) x = x * 1.0009765625f + 0.5f;
+        out[static_cast<std::size_t>(i)] = x;
+      }
+    });
+  };
+  fill(ref, 0.25f);
+
+  SetParallelThreads(4);
+  constexpr int kCallers = 3;
+  std::vector<std::vector<float>> outs(kCallers,
+                                       std::vector<float>(kN, 0.0f));
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int iter = 0; iter < 10; ++iter) fill(outs[t], 0.25f);
+    });
+  }
+  for (std::thread& th : callers) th.join();
+  for (int t = 0; t < kCallers; ++t) {
+    ASSERT_EQ(outs[static_cast<std::size_t>(t)], ref) << "caller " << t;
+  }
+}
+
+TEST(ThreadCount, NegativeOverrideIsClampedToNoOverride) {
+  ThreadGuard guard;
+  SetParallelThreads(5);
+  EXPECT_EQ(ParallelThreadCount(), 5);
+  // Negative means "clear the override", never an error or a bogus
+  // count (the documented [0, 1024] clamp).
+  SetParallelThreads(-3);
+  EXPECT_GE(ParallelThreadCount(), 1);
+  EXPECT_NE(ParallelThreadCount(), -3);
+  SetParallelThreads(1 << 20);  // absurd request: capped at 1024
+  EXPECT_EQ(ParallelThreadCount(), 1024);
+}
+
 TEST(ThreadCount, MalformedEnvIsIgnored) {
   ThreadGuard guard;
   for (const char* bad : {"", "zero", "-4", "0"}) {

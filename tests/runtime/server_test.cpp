@@ -1,0 +1,184 @@
+// BatchServer contract: every request's output is bit-identical to a
+// standalone serial Engine run with the same seed, the shared cache
+// packs each (layer, format) exactly once across all replicas, the
+// bounded queue applies backpressure, and shutdown resolves every
+// admitted request.
+#include <future>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "runtime/server.h"
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() { SetParallelThreads(0); }
+};
+
+EngineOptions SmallOptions() {
+  EngineOptions opts;
+  opts.planner.density = 0.25;
+  opts.planner.v = 8;
+  return opts;
+}
+
+ModelDesc SmallTransformer() {
+  TransformerConfig cfg;
+  cfg.d_model = 64;
+  cfg.d_ff = 128;
+  cfg.batch_tokens = 32;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  return ModelDesc::Transformer(cfg);
+}
+
+TEST(BatchServer, OutputsBitIdenticalToSerialEngine) {
+  ThreadGuard guard;
+  constexpr int kRequests = 12;
+
+  // Reference: a standalone engine, serial execution, one run per seed.
+  SetParallelThreads(1);
+  std::map<std::uint64_t, Matrix<float>> ref;
+  {
+    Engine engine(SmallTransformer(), SmallOptions());
+    for (int i = 0; i < kRequests; ++i) {
+      const std::uint64_t seed = 0x1000u + static_cast<std::uint64_t>(i);
+      ref.emplace(seed, engine.Run(seed).output);
+    }
+  }
+
+  // Served: 3 replicas, parallel kernels, concurrent in-flight runs.
+  SetParallelThreads(4);
+  ServerOptions opts;
+  opts.replicas = 3;
+  opts.engine = SmallOptions();
+  BatchServer server(SmallTransformer(), opts);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    Request req;
+    req.activation_seed = 0x1000u + static_cast<std::uint64_t>(i);
+    futures.push_back(server.Submit(req));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    Response resp = futures[static_cast<std::size_t>(i)].get();
+    const std::uint64_t seed = 0x1000u + static_cast<std::uint64_t>(i);
+    EXPECT_EQ(resp.id, static_cast<std::uint64_t>(i));
+    ASSERT_EQ(resp.output, ref.at(seed)) << "request " << i;
+  }
+}
+
+TEST(BatchServer, ReplicasShareOnePackPhase) {
+  ThreadGuard guard;
+  SetParallelThreads(2);
+  ServerOptions opts;
+  opts.replicas = 3;
+  opts.engine = SmallOptions();
+  BatchServer server(SmallTransformer(), opts);
+  server.Warmup();
+  const std::size_t packs_after_warmup = server.cache().TotalPacks();
+  EXPECT_GT(packs_after_warmup, 0u);
+  // One entry per planned (layer, format) — N replicas do not multiply
+  // the pack phase.
+  EXPECT_LE(packs_after_warmup, server.Plan().layers.size());
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 9; ++i) {
+    futures.push_back(server.Submit(Request{0x2000u + i}));
+  }
+  for (auto& f : futures) {
+    // Steady state: no request triggers a conversion.
+    EXPECT_EQ(f.get().packs_performed, 0u);
+  }
+  EXPECT_EQ(server.cache().TotalPacks(), packs_after_warmup);
+}
+
+TEST(BatchServer, SchedulerUsesMultipleReplicas) {
+  ThreadGuard guard;
+  SetParallelThreads(2);
+  ServerOptions opts;
+  opts.replicas = 2;
+  opts.engine = SmallOptions();
+  BatchServer server(SmallTransformer(), opts);
+  server.Warmup();
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(server.Submit(Request{}));
+  server.Drain();
+  const ServerStats stats = server.Stats();
+  // 16 requests + the warmup request (Warmup goes through the queue).
+  EXPECT_EQ(stats.submitted, 17u);
+  EXPECT_EQ(stats.completed, 17u);
+  ASSERT_EQ(stats.per_replica.size(), 2u);
+  EXPECT_EQ(stats.per_replica[0] + stats.per_replica[1], 17u);
+  // With 16 queued requests and 2 replicas popping as they go idle,
+  // both must have served something.
+  EXPECT_GT(stats.per_replica[0], 0u);
+  EXPECT_GT(stats.per_replica[1], 0u);
+  for (auto& f : futures) (void)f.get();
+}
+
+TEST(BatchServer, TrySubmitReportsFullQueue) {
+  ThreadGuard guard;
+  SetParallelThreads(1);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.queue_capacity = 2;
+  opts.engine = SmallOptions();
+  BatchServer server(SmallTransformer(), opts);
+  // Saturate: 1 replica busy + capacity-2 queue. Eventually TrySubmit
+  // must observe a full queue and refuse.
+  std::vector<std::future<Response>> accepted;
+  bool saw_full = false;
+  for (int i = 0; i < 64 && !saw_full; ++i) {
+    std::future<Response> fut;
+    if (server.TrySubmit(Request{}, &fut)) {
+      accepted.push_back(std::move(fut));
+    } else {
+      saw_full = true;
+    }
+  }
+  EXPECT_TRUE(saw_full);
+  for (auto& f : accepted) (void)f.get();  // all admitted requests resolve
+}
+
+TEST(BatchServer, ShutdownDrainsAdmittedRequestsAndRejectsNew) {
+  ThreadGuard guard;
+  SetParallelThreads(1);
+  ServerOptions opts;
+  opts.replicas = 2;
+  opts.engine = SmallOptions();
+  auto server = std::make_unique<BatchServer>(SmallTransformer(), opts);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server->Submit(Request{}));
+  server->Shutdown();
+  for (auto& f : futures) {
+    EXPECT_GT(f.get().output.size(), 0u);  // resolved, not abandoned
+  }
+  EXPECT_THROW(server->Submit(Request{}), std::runtime_error);
+  std::future<Response> fut;
+  EXPECT_FALSE(server->TrySubmit(Request{}, &fut));
+  server.reset();  // double shutdown via destructor is safe
+}
+
+TEST(BatchServer, LatencyBreakdownIsSane) {
+  ThreadGuard guard;
+  SetParallelThreads(2);
+  ServerOptions opts;
+  opts.replicas = 2;
+  opts.engine = SmallOptions();
+  BatchServer server(SmallTransformer(), opts);
+  server.Warmup();
+  Response resp = server.Submit(Request{}).get();
+  EXPECT_GE(resp.queue_seconds, 0.0);
+  EXPECT_GT(resp.run_seconds, 0.0);
+  EXPECT_GE(resp.replica, 0);
+  EXPECT_LT(resp.replica, 2);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace shflbw

@@ -1,6 +1,10 @@
-// PackedWeightCache contract: pack exactly once per (layer, format),
-// and every packed representation expands back to the pruned weight it
-// stores.
+// PackedWeightCache contract: pack exactly once per (layer, format,
+// density, v), every packed representation expands back to the pruned
+// weight it stores, and the cache survives concurrent GetOrPack from
+// many threads (the BatchServer shares one cache across replicas).
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -29,8 +33,93 @@ TEST(PackedWeightCache, PacksOncePerKey) {
   cache.GetOrPack(1, Format::kCsr, master, 0.25, 8);
   EXPECT_EQ(cache.TotalPacks(), 3u);
   EXPECT_EQ(cache.Size(), 3u);
-  EXPECT_TRUE(cache.Contains(0, Format::kCsr));
-  EXPECT_FALSE(cache.Contains(1, Format::kVectorWise));
+  EXPECT_TRUE(cache.Contains(0, Format::kCsr, 0.25, 8));
+  EXPECT_FALSE(cache.Contains(1, Format::kVectorWise, 0.25, 8));
+}
+
+// Regression: the key must include the prune parameters. A cache shared
+// across engines with different density or V settings used to serve the
+// first engine's packed weight to the second one silently.
+TEST(PackedWeightCache, DensityAndVArePartOfTheKey) {
+  Rng rng(17);
+  const Matrix<float> master = rng.NormalMatrix(32, 32);
+  PackedWeightCache cache;
+
+  const PackedWeight& dense25 =
+      cache.GetOrPack(0, Format::kCsr, master, 0.25, 8);
+  const PackedWeight& dense50 =
+      cache.GetOrPack(0, Format::kCsr, master, 0.50, 8);
+  EXPECT_EQ(cache.TotalPacks(), 2u);  // distinct entries, both packed
+  EXPECT_NE(&dense25, &dense50);
+  // And they really hold different prunes.
+  EXPECT_EQ(dense25.csr.ToDense(), PruneUnstructured(master, 0.25));
+  EXPECT_EQ(dense50.csr.ToDense(), PruneUnstructured(master, 0.50));
+
+  // Same density, different vector width: also distinct.
+  cache.GetOrPack(0, Format::kVectorWise, master, 0.25, 8);
+  cache.GetOrPack(0, Format::kVectorWise, master, 0.25, 16);
+  EXPECT_EQ(cache.TotalPacks(), 4u);
+  EXPECT_TRUE(cache.Contains(0, Format::kVectorWise, 0.25, 8));
+  EXPECT_TRUE(cache.Contains(0, Format::kVectorWise, 0.25, 16));
+  EXPECT_FALSE(cache.Contains(0, Format::kVectorWise, 0.50, 8));
+}
+
+// Hammer: many threads racing GetOrPack over a small key space. Each
+// key must pack exactly once, every returned reference must be stable
+// (same address for the same key), and the contents must be correct.
+TEST(PackedWeightCache, ConcurrentGetOrPackPacksOncePerKey) {
+  Rng rng(23);
+  const Matrix<float> master = rng.NormalMatrix(32, 32);
+  PackedWeightCache cache;
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 50;
+  constexpr int kLayers = 4;
+  const Format kFormats[] = {Format::kDense, Format::kCsr,
+                             Format::kVectorWise};
+  constexpr int kNumFormats = 3;
+
+  std::vector<std::vector<const PackedWeight*>> seen(
+      kThreads, std::vector<const PackedWeight*>(kLayers * kNumFormats,
+                                                 nullptr));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < kItersPerThread; ++iter) {
+        // Walk the key space in a thread-dependent order to vary the
+        // interleavings.
+        for (int k = 0; k < kLayers * kNumFormats; ++k) {
+          const int idx = (k + t * 5 + iter) % (kLayers * kNumFormats);
+          const int layer = idx / kNumFormats;
+          const Format format = kFormats[idx % kNumFormats];
+          const PackedWeight& w =
+              cache.GetOrPack(layer, format, master, 0.25, 8);
+          if (seen[t][static_cast<std::size_t>(idx)] == nullptr) {
+            seen[t][static_cast<std::size_t>(idx)] = &w;
+          } else {
+            // Stable reference: later lookups return the same object.
+            ASSERT_EQ(seen[t][static_cast<std::size_t>(idx)], &w);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Exactly one pack per key despite the races...
+  EXPECT_EQ(cache.TotalPacks(),
+            static_cast<std::size_t>(kLayers * kNumFormats));
+  EXPECT_EQ(cache.Size(), static_cast<std::size_t>(kLayers * kNumFormats));
+  // ...and every thread saw the same object per key.
+  for (int t = 1; t < kThreads; ++t) {
+    for (int k = 0; k < kLayers * kNumFormats; ++k) {
+      EXPECT_EQ(seen[0][static_cast<std::size_t>(k)],
+                seen[t][static_cast<std::size_t>(k)]);
+    }
+  }
+  // Spot-check contents survived the stampede.
+  EXPECT_EQ(cache.GetOrPack(0, Format::kCsr, master, 0.25, 8).csr.ToDense(),
+            PruneUnstructured(master, 0.25));
 }
 
 TEST(PackWeight, RepresentationsMatchTheirPrunes) {
