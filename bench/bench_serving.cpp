@@ -1,13 +1,16 @@
 // Batch-serving benchmark: the scale-out analogue of bench_e2e.
 //
 // Serves M whole-model inference requests (distinct activation seeds)
-// through a BatchServer and sweeps the two serving knobs: replica count
-// (how many Engine instances share the partitioned worker pool) and
-// batch size (how many requests are kept in flight at once). Reports
-// throughput and p50/p99 request latency per configuration, the
-// 1-replica vs N-replica scaling curve, and verifies that every served
+// through a BatchServer and sweeps the three serving knobs: replica
+// count (how many Engine instances share the partitioned worker pool),
+// batch size (how many requests are kept in flight at once), and fused
+// width (max_batch — how many queued requests a replica coalesces into
+// one RunBatched launch). Reports throughput and p50/p99 request
+// latency per configuration, the 1-replica vs N-replica scaling curve,
+// the fused vs unfused comparison, and verifies that every served
 // output is bit-identical to a serial single-engine run of the same
-// seed — concurrency must never change a single bit of any answer.
+// seed — neither concurrency nor fusion may change a single bit of any
+// answer.
 //
 // Flags: --smoke (tiny config, few requests — CI harness check)
 //        --out=FILE (default BENCH_serving.json)
@@ -16,10 +19,12 @@
 //        --density=A (kept density, default 0.25)
 //        --v=N (vector/block granularity, default 8)
 //
-// Exit status: non-zero if any output mismatches the serial reference,
-// or if, outside --smoke on a >=2-core box, the best multi-replica
-// throughput fails to strictly beat the best single-replica throughput
-// (the PR's acceptance criterion).
+// Exit status: non-zero if any output mismatches the serial reference;
+// if, outside --smoke on a >=2-core box, the best multi-replica
+// throughput fails to strictly beat the best single-replica throughput;
+// or if, outside --smoke on a >=2-core box, fused serving (max_batch
+// >= 8) at in-flight batch >= 8 fails to at least match the best
+// unfused (max_batch = 1) throughput.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -41,11 +46,13 @@ namespace {
 struct ConfigResult {
   int replicas = 1;
   int batch = 1;
+  int max_batch = 1;  // fused width cap (1 = unfused serving)
   int requests = 0;
   double wall_seconds = 0;
   double throughput_rps = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  int max_fused_width = 0;  // widest launch actually observed
   bool bit_identical = true;
 };
 
@@ -68,6 +75,7 @@ ConfigResult ServeConfig(const ModelDesc& model, const ServerOptions& opts,
   ConfigResult r;
   r.replicas = opts.replicas;
   r.batch = batch;
+  r.max_batch = opts.max_batch;
   r.requests = requests;
 
   BatchServer server(model, opts);
@@ -88,6 +96,7 @@ ConfigResult ServeConfig(const ModelDesc& model, const ServerOptions& opts,
     for (int i = 0; i < wave; ++i) {
       Response resp = futures[static_cast<std::size_t>(i)].get();
       latencies_ms.push_back((resp.queue_seconds + resp.run_seconds) * 1e3);
+      r.max_fused_width = std::max(r.max_fused_width, resp.batch_width);
       if (resp.output != ref.at(SeedOf(submitted + i))) {
         r.bit_identical = false;
       }
@@ -103,11 +112,17 @@ ConfigResult ServeConfig(const ModelDesc& model, const ServerOptions& opts,
   return r;
 }
 
+struct FusionSummary {
+  double unfused_rps = 0;  // best max_batch=1 config at batch >= kFusedBatch
+  double fused_rps = 0;    // best max_batch>1 config at batch >= kFusedBatch
+  int fused_width = 0;     // max_batch of the best fused config
+};
+
 bool WriteJson(const std::string& path, const ModelDesc& model,
                const std::string& config, const ServerOptions& base,
                int requests, const std::vector<ConfigResult>& results,
                double single_rps, double multi_rps, int multi_replicas,
-               bool all_identical) {
+               const FusionSummary& fusion, bool all_identical) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -123,23 +138,36 @@ bool WriteJson(const std::string& path, const ModelDesc& model,
   std::fprintf(f, "  \"threads\": %d,\n", ParallelThreadCount());
   std::fprintf(f, "  \"requests_per_config\": %d,\n", requests);
   std::fprintf(f, "  \"note\": \"throughput is closed-loop with `batch` "
-               "requests in flight; latency is submit-to-completion; every "
-               "output is compared against a serial single-engine run of "
-               "the same seed\",\n");
+               "requests in flight; max_batch is the fused width cap "
+               "(1 = one launch per request); latency is "
+               "submit-to-completion; every output is compared against a "
+               "serial single-engine run of the same seed\",\n");
   std::fprintf(f, "  \"configs\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
     std::fprintf(f,
-                 "    {\"replicas\": %d, \"batch\": %d, \"requests\": %d, "
+                 "    {\"replicas\": %d, \"batch\": %d, \"max_batch\": %d, "
+                 "\"requests\": %d, "
                  "\"wall_s\": %.4f, \"throughput_rps\": %.3f, "
                  "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"max_fused_width\": %d, "
                  "\"bit_identical\": %s}%s\n",
-                 r.replicas, r.batch, r.requests, r.wall_seconds,
-                 r.throughput_rps, r.p50_ms, r.p99_ms,
+                 r.replicas, r.batch, r.max_batch, r.requests,
+                 r.wall_seconds, r.throughput_rps, r.p50_ms, r.p99_ms,
+                 r.max_fused_width,
                  r.bit_identical ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  // Fused vs unfused at serving load (in-flight batch >= 8): the
+  // cross-request batching claim. Enforced by exit code on >=2-core
+  // hosts outside --smoke; reported everywhere.
+  std::fprintf(f, "  \"fusion\": {\"unfused_rps\": %.3f, "
+               "\"fused_rps\": %.3f, \"fused_max_batch\": %d, "
+               "\"fused_vs_unfused_speedup\": %.3f},\n",
+               fusion.unfused_rps, fusion.fused_rps, fusion.fused_width,
+               fusion.unfused_rps > 0 ? fusion.fused_rps / fusion.unfused_rps
+                                      : 0.0);
   // The >=2-partition scaling claim is only measurable with >=2 cores:
   // on a 1-core box every configuration time-slices and the curve is
   // flat-to-negative by construction. CI runs this binary on a
@@ -212,47 +240,82 @@ int Main(int argc, char** argv) {
     SetParallelThreads(0);  // back to env/auto for the serving sweeps
   }
 
+  // The in-flight batch size at which the fused-vs-unfused comparison
+  // (and its CI gate) is made.
+  constexpr int kFusedBatch = 8;
   std::vector<int> replica_counts = {1, 2, 4};
   std::vector<int> batches = smoke ? std::vector<int>{4}
                                    : std::vector<int>{1, 8, 32};
+  // Fused width sweep: 1 = classic per-request launches (the PR 3
+  // baseline), 8 = coalesce up to 8 queued requests into one wide
+  // launch per layer.
+  std::vector<int> fuse_widths = smoke ? std::vector<int>{1, 4}
+                                       : std::vector<int>{1, 8};
   std::vector<ConfigResult> results;
-  std::printf("\n  %8s %6s %10s %12s %10s %10s %10s\n", "replicas", "batch",
-              "requests", "wall_s", "rps", "p50_ms", "p99_ms");
+  std::printf("\n  %8s %6s %6s %10s %12s %10s %10s %10s\n", "replicas",
+              "batch", "fuse", "requests", "wall_s", "rps", "p50_ms",
+              "p99_ms");
   for (int replicas : replica_counts) {
     for (int batch : batches) {
-      ServerOptions opts = base;
-      opts.replicas = replicas;
-      opts.queue_capacity =
-          std::max<std::size_t>(64, static_cast<std::size_t>(batch));
-      results.push_back(ServeConfig(model, opts, batch, requests, ref));
-      const ConfigResult& r = results.back();
-      std::printf("  %8d %6d %10d %12.4f %10.2f %10.3f %10.3f%s\n",
-                  r.replicas, r.batch, r.requests, r.wall_seconds,
-                  r.throughput_rps, r.p50_ms, r.p99_ms,
-                  r.bit_identical ? "" : "  OUTPUT MISMATCH");
+      for (int fuse : fuse_widths) {
+        ServerOptions opts = base;
+        opts.replicas = replicas;
+        opts.max_batch = fuse;
+        opts.queue_capacity =
+            std::max<std::size_t>(64, static_cast<std::size_t>(batch));
+        results.push_back(ServeConfig(model, opts, batch, requests, ref));
+        const ConfigResult& r = results.back();
+        std::printf("  %8d %6d %6d %10d %12.4f %10.2f %10.3f %10.3f%s\n",
+                    r.replicas, r.batch, r.max_batch, r.requests,
+                    r.wall_seconds, r.throughput_rps, r.p50_ms, r.p99_ms,
+                    r.bit_identical ? "" : "  OUTPUT MISMATCH");
+      }
     }
   }
 
   bool all_identical = true;
   double single_rps = 0, multi_rps = 0;
   int multi_replicas = 0;
+  FusionSummary fusion;
   for (const ConfigResult& r : results) {
     all_identical = all_identical && r.bit_identical;
-    if (r.replicas == 1) {
-      single_rps = std::max(single_rps, r.throughput_rps);
-    } else if (r.throughput_rps > multi_rps) {
-      multi_rps = r.throughput_rps;
-      multi_replicas = r.replicas;
+    // Replica scaling is compared like-for-like on UNFUSED configs
+    // (max_batch == 1, the PR 3 baseline): fusion changes per-launch
+    // width, so mixing widths here would let a single-replica fused
+    // config masquerade as a replica-scaling regression.
+    if (r.max_batch == 1) {
+      if (r.replicas == 1) {
+        single_rps = std::max(single_rps, r.throughput_rps);
+      } else if (r.throughput_rps > multi_rps) {
+        multi_rps = r.throughput_rps;
+        multi_replicas = r.replicas;
+      }
+    }
+    // Fused-vs-unfused is compared at serving load: enough requests in
+    // flight (batch >= kFusedBatch) that coalescing has material to
+    // work with.
+    if (r.batch >= kFusedBatch || smoke) {
+      if (r.max_batch == 1) {
+        fusion.unfused_rps = std::max(fusion.unfused_rps, r.throughput_rps);
+      } else if (r.throughput_rps > fusion.fused_rps) {
+        fusion.fused_rps = r.throughput_rps;
+        fusion.fused_width = r.max_batch;
+      }
     }
   }
   std::printf("\n  scaling: single-replica %.2f rps, best multi-replica "
               "%.2f rps (x%d replicas) -> %.2fx\n",
               single_rps, multi_rps, multi_replicas,
               single_rps > 0 ? multi_rps / single_rps : 0.0);
+  std::printf("  fusion:  unfused %.2f rps, fused %.2f rps (max_batch %d) "
+              "-> %.2fx\n",
+              fusion.unfused_rps, fusion.fused_rps, fusion.fused_width,
+              fusion.unfused_rps > 0 ? fusion.fused_rps / fusion.unfused_rps
+                                     : 0.0);
 
   const bool wrote = WriteJson(out, model, config, base, requests, results,
                                single_rps, multi_rps, multi_replicas,
-                               all_identical);
+                               fusion, all_identical);
   if (wrote) std::printf("\nwrote %s\n", out.c_str());
 
   bool ok = wrote;
@@ -268,6 +331,15 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: multi-replica throughput (%.2f rps) did "
                  "not beat single-replica (%.2f rps)\n",
                  multi_rps, single_rps);
+    ok = false;
+  }
+  // Acceptance: fused serving at batch >= 8 must not regress below
+  // unfused on a multi-core host (same smoke caveat as above).
+  if (!smoke && hw >= 2 && fusion.fused_rps < fusion.unfused_rps) {
+    std::fprintf(stderr, "FAIL: fused throughput (%.2f rps, max_batch %d) "
+                 "regressed below unfused (%.2f rps) at batch >= %d\n",
+                 fusion.fused_rps, fusion.fused_width, fusion.unfused_rps,
+                 kFusedBatch);
     ok = false;
   }
   return ok ? 0 : 1;

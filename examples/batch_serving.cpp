@@ -1,7 +1,9 @@
 // Batch serving: stand up a BatchServer with multiple Engine replicas
 // sharing one packed-weight cache, submit a stream of inference
-// requests, and verify every response is bit-identical to a serial
-// single-engine run — concurrency never changes an answer.
+// requests that the scheduler coalesces into fused multi-request
+// launches (one n*K-column kernel launch per layer instead of K), and
+// verify every response is bit-identical to a serial single-engine
+// run — neither concurrency nor fusion changes an answer.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -32,11 +34,17 @@ int main() {
   opts.replicas = 2;
   opts.engine.planner.density = 0.25;
   opts.engine.planner.v = 8;
+  // Cross-request batching: an idle replica coalesces up to max_batch
+  // queued requests (FIFO, oldest first) into one fused RunBatched
+  // launch, holding a partial batch open up to the coalescing window.
+  opts.max_batch = 4;
+  opts.coalesce_window_seconds = 0.002;
 
   BatchServer server(model, opts);
-  std::printf("%s: %d replicas, %zu-deep queue, plan on %s\n",
+  std::printf("%s: %d replicas, %zu-deep queue, fuse up to %d, plan on %s\n",
               model.name.c_str(), server.replicas(),
-              server.options().queue_capacity, server.Plan().gpu.c_str());
+              server.options().queue_capacity, server.options().max_batch,
+              server.Plan().gpu.c_str());
 
   // Pack the planned formats once, into the cache all replicas share.
   server.Warmup();
@@ -67,9 +75,10 @@ int main() {
     const bool same = resp.output == expect;
     mismatches += same ? 0 : 1;
     std::printf(
-        "request %2d -> replica %d  queue %6.3f ms  run %6.3f ms  %s\n",
-        i, resp.replica, resp.queue_seconds * 1e3, resp.run_seconds * 1e3,
-        same ? "bit-identical" : "MISMATCH");
+        "request %2d -> replica %d (fused x%d)  queue %6.3f ms  "
+        "run %6.3f ms  %s\n",
+        i, resp.replica, resp.batch_width, resp.queue_seconds * 1e3,
+        resp.run_seconds * 1e3, same ? "bit-identical" : "MISMATCH");
   }
   SetParallelThreads(0);
 

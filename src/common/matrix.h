@@ -37,6 +37,21 @@ class Matrix {
   int cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
 
+  /// Re-shapes in place to rows x cols, reusing storage capacity where
+  /// possible. The logical extent is always exactly rows*cols — growing
+  /// value-initializes the new elements and shrinking drops the tail —
+  /// so a scratch buffer cycled through mixed shapes (e.g. fused-batch
+  /// activations of varying width) can never expose stale tail data to
+  /// stats or normalization passes. Surviving contents are meaningless
+  /// after a shape change; callers overwrite every element.
+  void Reshape(int rows, int cols) {
+    SHFLBW_CHECK_MSG(rows >= 0 && cols >= 0,
+                     "negative shape " << rows << "x" << cols);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows) * cols);
+  }
+
   T& at(int r, int c) {
     SHFLBW_CHECK_MSG(InBounds(r, c), "(" << r << "," << c << ") out of "
                                          << rows_ << "x" << cols_);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "arch/gpu_spec.h"
+#include "common/check.h"
 #include "format/shfl_bw.h"
 #include "kernels/kernel_api.h"
 
@@ -28,6 +29,21 @@ struct Tensor4 {
   }
   float at(int ni, int ci, int hi, int wi) const {
     return data[Index(ni, ci, hi, wi)];
+  }
+
+  /// Re-shapes in place, reusing storage capacity. Exact-extent like
+  /// Matrix<T>::Reshape: shrinking (e.g. a narrower fused batch after a
+  /// wide one) drops the tail instead of leaving stale activations
+  /// reachable. Contents are unspecified after a shape change.
+  void Reshape(int n_, int c_, int h_, int w_) {
+    SHFLBW_CHECK_MSG(n_ >= 0 && c_ >= 0 && h_ >= 0 && w_ >= 0,
+                     "negative shape " << n_ << "x" << c_ << "x" << h_
+                                       << "x" << w_);
+    n = n_;
+    c = c_;
+    h = h_;
+    w = w_;
+    data.resize(static_cast<std::size_t>(n_) * c_ * h_ * w_);
   }
 
  private:
@@ -54,7 +70,13 @@ struct ConvShape {
 };
 
 /// Unfolds the input into the implicit-GEMM operand: row (ci*kh+r)*kw+s,
-/// column ((b*OutH+y)*OutW+x), zero-padded at the borders.
+/// column ((b*OutH+y)*OutW+x), zero-padded at the borders. Columns are
+/// batch-major, so concatenating K inputs along the batch dimension
+/// concatenates their unfolded matrices column-block-wise — which is
+/// what lets the runtime fuse K requests into one conv launch under the
+/// kernel_api.h wide-batch contract (each request's output occupies a
+/// contiguous GemmN-wide column block, bit-identical to its own narrow
+/// launch).
 Matrix<float> Im2Col(const Tensor4& input, const ConvShape& shape);
 
 /// Filter tensor [out_c][in_c][kh][kw] flattened to the GEMM weight

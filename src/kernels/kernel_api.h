@@ -12,6 +12,18 @@
 //   2. *Stats collection*: counts the DRAM/L2 traffic and MAC
 //      instructions the CUDA kernel would issue; the arch cost model
 //      converts these into modelled time on V100/T4/A100.
+//
+// Wide-batch contract: N (the dense-operand column count) is a free
+// dimension, not a fixed model property. Output column j depends only
+// on input column j, accumulated along K in ascending order regardless
+// of N or of the column-tile decomposition, and operand fp16 rounding
+// is elementwise. Therefore packing K independent activations
+// side-by-side into one N*K-column operand yields, in each column
+// block, bits identical to K separate narrow launches — the invariant
+// the runtime's cross-request fused batching (Engine::RunBatched) is
+// built on. Kernels must not let a column's result depend on its
+// neighbours (no cross-column reductions, no N-dependent accumulation
+// reordering).
 #pragma once
 
 #include <algorithm>

@@ -89,27 +89,39 @@ KernelResult Engine::ExecuteConv(const PackedWeight& w, const ConvShape& shape,
   }
 }
 
-const Matrix<float>& Engine::StreamGemmInput(int k, int n) {
-  if (gemm_input_scratch_.rows() != k || gemm_input_scratch_.cols() != n) {
-    gemm_input_scratch_ = Matrix<float>(k, n);
+const Matrix<float>& Engine::FusedGemmInput(int k, int n, int width) {
+  // Reshape, not reallocate-if-different: the exact logical extent
+  // guarantees a narrower batch following a wider one cannot read the
+  // wide batch's stale tail columns (Matrix::Reshape drops the tail).
+  gemm_input_scratch_.Reshape(k, n * width);
+  for (int j = 0; j < width; ++j) {
+    const std::vector<float>& stream = streams_[static_cast<std::size_t>(j)];
+    const std::size_t len = stream.size();
+    // Element order within the block matches a width-1 run exactly:
+    // row-major index i = r*n + c wrapped cyclically over the stream.
+    std::size_t i = 0;
+    for (int r = 0; r < k; ++r) {
+      float* dst = gemm_input_scratch_.row(r) + static_cast<std::size_t>(j) * n;
+      for (int c = 0; c < n; ++c, ++i) dst[c] = stream[i % len];
+    }
   }
-  float* out = gemm_input_scratch_.data();
-  const std::size_t total = gemm_input_scratch_.size();
-  for (std::size_t i = 0; i < total; ++i) out[i] = StreamValue(i);
   return gemm_input_scratch_;
 }
 
-const Tensor4& Engine::StreamConvInput(const ConvShape& shape) {
-  if (conv_input_scratch_.n != shape.batch ||
-      conv_input_scratch_.c != shape.in_c ||
-      conv_input_scratch_.h != shape.in_h ||
-      conv_input_scratch_.w != shape.in_w) {
-    conv_input_scratch_ =
-        Tensor4(shape.batch, shape.in_c, shape.in_h, shape.in_w);
-  }
-  const std::size_t total = conv_input_scratch_.data.size();
-  for (std::size_t i = 0; i < total; ++i) {
-    conv_input_scratch_.data[i] = StreamValue(i);
+const Tensor4& Engine::FusedConvInput(const ConvShape& shape, int width) {
+  conv_input_scratch_.Reshape(shape.batch * width, shape.in_c, shape.in_h,
+                              shape.in_w);
+  // NCHW with batch outermost: request j's images are the contiguous
+  // range [j*per, (j+1)*per), filled in the same order a width-1 run
+  // fills its whole tensor.
+  const std::size_t per = static_cast<std::size_t>(shape.batch) *
+                          shape.in_c * shape.in_h * shape.in_w;
+  for (int j = 0; j < width; ++j) {
+    const std::vector<float>& stream = streams_[static_cast<std::size_t>(j)];
+    const std::size_t len = stream.size();
+    float* dst = conv_input_scratch_.data.data() +
+                 static_cast<std::size_t>(j) * per;
+    for (std::size_t i = 0; i < per; ++i) dst[i] = stream[i % len];
   }
   return conv_input_scratch_;
 }
@@ -117,23 +129,44 @@ const Tensor4& Engine::StreamConvInput(const ConvShape& shape) {
 RunResult Engine::Run() { return Run(opts_.activation_seed); }
 
 RunResult Engine::Run(std::uint64_t activation_seed) {
+  // Width-1 fused run: one code path for serial and batched execution
+  // means the bit-identity contract between them holds by construction.
+  BatchRunResult batch = RunBatched({activation_seed});
+  RunResult result;
+  result.output = std::move(batch.outputs.front());
+  result.kernel_seconds = batch.kernel_seconds;
+  result.weighted_seconds = batch.weighted_seconds;
+  result.overhead_seconds = batch.overhead_seconds;
+  result.packs_performed = batch.packs_performed;
+  result.layers = std::move(batch.layers);
+  return result;
+}
+
+BatchRunResult Engine::RunBatched(const std::vector<std::uint64_t>& seeds) {
+  SHFLBW_CHECK_MSG(!seeds.empty(), "RunBatched needs at least one request");
+  const int width = static_cast<int>(seeds.size());
   const ExecutionPlan& plan = Plan();
   const std::size_t packs_before = cache_->TotalPacks();
 
-  RunResult result;
-  // Fresh deterministic input stream per Run, so every Run of the same
-  // engine (and of any engine with equal seeds) computes identical
-  // values regardless of thread count or prior calls.
+  BatchRunResult result;
+  result.width = width;
+  // Fresh deterministic input stream per request, exactly as a width-1
+  // run of the same seed would build it: identical values regardless of
+  // thread count, batch width, prior calls or co-batched neighbours.
+  streams_.resize(static_cast<std::size_t>(width));
   {
-    Rng rng(activation_seed);
     const LayerDesc& first = model_.layers.front();
     const std::size_t need =
         first.kind == LayerKind::kConv
             ? static_cast<std::size_t>(first.conv.batch) * first.conv.in_c *
                   first.conv.in_h * first.conv.in_w
             : static_cast<std::size_t>(first.gemm.k) * first.gemm.n;
-    stream_.resize(need);
-    for (float& x : stream_) x = static_cast<float>(rng.Normal());
+    for (int j = 0; j < width; ++j) {
+      Rng rng(seeds[static_cast<std::size_t>(j)]);
+      std::vector<float>& stream = streams_[static_cast<std::size_t>(j)];
+      stream.resize(need);
+      for (float& x : stream) x = static_cast<float>(rng.Normal());
+    }
   }
 
   for (std::size_t i = 0; i < model_.layers.size(); ++i) {
@@ -141,19 +174,28 @@ RunResult Engine::Run(std::uint64_t activation_seed) {
     const LayerPlan& lp = plan.layers[i];
     const PackedWeight& w = Packed(static_cast<int>(i), lp.format);
 
+    // ONE kernel launch per layer for all `width` requests: GEMM layers
+    // widen N to n*width (request j = column block j), conv layers
+    // widen the batch to batch*width (request j = batch block j, which
+    // Im2Col turns into column block j of the implicit GEMM).
     double adapt0 = NowSeconds();
     KernelResult kr;
     double t0 = 0, t1 = 0;
+    int block_n = 0;  // per-request output columns of this layer
     if (l.kind == LayerKind::kGemm) {
-      const Matrix<float>& act = StreamGemmInput(l.gemm.k, l.gemm.n);
+      block_n = l.gemm.n;
+      const Matrix<float>& act = FusedGemmInput(l.gemm.k, l.gemm.n, width);
       t0 = NowSeconds();
       kr = ExecuteGemm(w, act);
       t1 = NowSeconds();
     } else {
       const ConvShape shape = ToConvShape(l.conv);
-      const Tensor4& input = StreamConvInput(shape);
+      block_n = shape.GemmN();
+      ConvShape fused = shape;
+      fused.batch = shape.batch * width;
+      const Tensor4& input = FusedConvInput(shape, width);
       t0 = NowSeconds();
-      kr = ExecuteConv(w, shape, input);
+      kr = ExecuteConv(w, fused, input);
       t1 = NowSeconds();
     }
 
@@ -172,22 +214,57 @@ RunResult Engine::Run(std::uint64_t activation_seed) {
     // Stream this layer's output into the next layer's input at unit
     // RMS — the stand-in for the inter-layer normalization real models
     // carry; without it activations compound out of fp16 range within a
-    // few layers. Serial fixed-order accumulation keeps it exact across
-    // thread counts.
-    double sum_sq = 0.0;
-    const std::vector<float>& out = kr.c.storage();
-    for (float x : out) sum_sq += static_cast<double>(x) * x;
-    const float inv_rms =
-        sum_sq > 0.0
-            ? static_cast<float>(1.0 / std::sqrt(sum_sq / out.size()))
-            : 1.0f;
-    stream_.resize(out.size());
-    for (std::size_t j = 0; j < out.size(); ++j) {
-      stream_[j] = out[j] * inv_rms;
+    // few layers. The reduction runs PER REQUEST over its own column
+    // block, visiting elements in the block's row-major order — the
+    // exact value sequence (and thus the exact double accumulation and
+    // inv_rms bit pattern) of a width-1 run of the same request. The
+    // final layer streams into nothing, so it skips the pass entirely.
+    const int rows = kr.c.rows();
+    const bool last = i + 1 == model_.layers.size();
+    for (int j = 0; !last && j < width; ++j) {
+      double sum_sq = 0.0;
+      for (int r = 0; r < rows; ++r) {
+        const float* src = kr.c.row(r) + static_cast<std::size_t>(j) * block_n;
+        for (int c = 0; c < block_n; ++c) {
+          const float x = src[c];
+          sum_sq += static_cast<double>(x) * x;
+        }
+      }
+      const std::size_t block_size =
+          static_cast<std::size_t>(rows) * block_n;
+      const float inv_rms =
+          sum_sq > 0.0
+              ? static_cast<float>(1.0 / std::sqrt(sum_sq / block_size))
+              : 1.0f;
+      std::vector<float>& stream = streams_[static_cast<std::size_t>(j)];
+      stream.resize(block_size);
+      for (int r = 0; r < rows; ++r) {
+        const float* src = kr.c.row(r) + static_cast<std::size_t>(j) * block_n;
+        float* dst = stream.data() + static_cast<std::size_t>(r) * block_n;
+        for (int c = 0; c < block_n; ++c) dst[c] = src[c] * inv_rms;
+      }
     }
     result.overhead_seconds += (t0 - adapt0) + (NowSeconds() - t1);
 
-    if (i + 1 == model_.layers.size()) result.output = std::move(kr.c);
+    if (last) {
+      // De-interleave the fused output into per-request matrices. At
+      // width 1 the whole matrix IS request 0's block: move it, keeping
+      // the serial Run path zero-copy as before.
+      result.outputs.reserve(static_cast<std::size_t>(width));
+      if (width == 1) {
+        result.outputs.push_back(std::move(kr.c));
+      } else {
+        for (int j = 0; j < width; ++j) {
+          Matrix<float> out(rows, block_n);
+          for (int r = 0; r < rows; ++r) {
+            const float* src =
+                kr.c.row(r) + static_cast<std::size_t>(j) * block_n;
+            std::copy(src, src + block_n, out.row(r));
+          }
+          result.outputs.push_back(std::move(out));
+        }
+      }
+    }
   }
 
   result.packs_performed = cache_->TotalPacks() - packs_before;
@@ -214,28 +291,39 @@ double Engine::TimeLayerOnce(int layer, Format format) {
 }
 
 void Engine::Autotune() {
-  const int top_k = std::max(1, opts_.planner.autotune_top_k);
   for (LayerPlan& lp : plan_->layers) {
-    int timed = 0;
+    // Feasible candidates sort first; only they can be timed. Clamp
+    // top_k to the feasible count, so a generous autotune_top_k never
+    // implies more measurements than were actually taken.
+    int feasible = 0;
+    for (const FormatCandidate& c : lp.candidates) {
+      if (!c.feasible) break;
+      ++feasible;
+    }
+    const int top_k =
+        std::min(std::max(1, opts_.planner.autotune_top_k), feasible);
+    if (top_k < 2) continue;  // nothing to re-rank; autotuned stays false
     int best = -1;
-    for (std::size_t c = 0; c < lp.candidates.size() && timed < top_k; ++c) {
-      FormatCandidate& cand = lp.candidates[c];
-      if (!cand.feasible) break;  // feasible candidates sort first
+    for (int c = 0; c < top_k; ++c) {
+      FormatCandidate& cand = lp.candidates[static_cast<std::size_t>(c)];
       cand.measured_s = TimeLayerOnce(lp.layer, cand.format);
       if (best < 0 || cand.measured_s <
                           lp.candidates[static_cast<std::size_t>(best)]
                               .measured_s) {
-        best = static_cast<int>(c);
+        best = c;
       }
-      ++timed;
     }
-    if (timed > 1) {
-      const FormatCandidate& winner =
-          lp.candidates[static_cast<std::size_t>(best)];
-      lp.format = winner.format;
-      lp.modeled_s = winner.modeled_s;
-      lp.autotuned = true;
-    }
+    const FormatCandidate& winner =
+        lp.candidates[static_cast<std::size_t>(best)];
+    // Report a layer as autotuned only when the winner was genuinely
+    // measured: a 0-second sample means the clock could not resolve the
+    // launch, and re-ranking on it would present unmeasured candidates
+    // (measured_s == 0, exactly like the skipped infeasible ones) as
+    // empirical winners in the plan summary.
+    if (winner.measured_s <= 0.0) continue;
+    lp.format = winner.format;
+    lp.modeled_s = winner.modeled_s;
+    lp.autotuned = true;
   }
 }
 

@@ -66,6 +66,22 @@ struct RunResult {
   std::vector<LayerRunRecord> layers;
 };
 
+/// Result of one fused whole-model RunBatched over K requests.
+struct BatchRunResult {
+  /// outputs[j] is bit-identical to Run(seeds[j]).output — the
+  /// de-interleaved column block of the fused final-layer launch.
+  std::vector<Matrix<float>> outputs;
+  int width = 0;               // K, the number of fused requests
+  double kernel_seconds = 0;   // sum of per-layer fused kernel time
+  double weighted_seconds = 0; // repeat-weighted fused whole-model latency
+  double overhead_seconds = 0; // activation streaming + normalization
+  std::size_t packs_performed = 0;  // conversions triggered by this call
+  /// One record per layer — ONE fused launch per layer, not K; seconds
+  /// and useful_flops cover the K-wide launch, modeled_* stay
+  /// per-request (the planner models the serving shape).
+  std::vector<LayerRunRecord> layers;
+};
+
 class Engine {
  public:
   explicit Engine(ModelDesc model, EngineOptions opts = {});
@@ -94,7 +110,22 @@ class Engine {
   /// through the same packed weights. Run() == Run(activation_seed from
   /// the engine options). Deterministic: the same seed on any replica
   /// (or thread count) yields a bit-identical output matrix.
+  /// Implemented as RunBatched of width 1, so the single-request and
+  /// fused paths can never diverge.
   RunResult Run(std::uint64_t activation_seed);
+
+  /// Cross-request fused execution: packs the K requests' activations
+  /// into one n*K-column matrix per GEMM layer (batch*K per conv layer)
+  /// and streams it through the packed weights with ONE kernel launch
+  /// per layer instead of K. Inter-layer RMS normalization is applied
+  /// per request over its own column block in the serial element order,
+  /// so outputs[j] is bit-identical to Run(seeds[j]) at any thread
+  /// count and any batch width — the wide-batch contract of
+  /// kernels/kernel_api.h carried through the whole model. Scratch is
+  /// re-shaped (exact extent, never capacity-only) between calls, so
+  /// mixed widths K cannot leak stale tail columns. seeds must be
+  /// non-empty.
+  BatchRunResult RunBatched(const std::vector<std::uint64_t>& seeds);
 
   const ModelDesc& model() const { return model_; }
   const EngineOptions& options() const { return opts_; }
@@ -114,14 +145,14 @@ class Engine {
   KernelResult ExecuteConv(const PackedWeight& w, const ConvShape& shape,
                            const Tensor4& input);
 
-  /// Fills this layer's input from the activation stream (the previous
-  /// layer's RMS-normalized output, wrapped cyclically to the required
-  /// shape) into the per-engine scratch buffers.
-  const Matrix<float>& StreamGemmInput(int k, int n);
-  const Tensor4& StreamConvInput(const ConvShape& shape);
-  float StreamValue(std::size_t i) const {
-    return stream_[i % stream_.size()];
-  }
+  /// Fills this layer's fused input from the per-request activation
+  /// streams (each request's previous-layer RMS-normalized output,
+  /// wrapped cyclically to the required shape) into the per-engine
+  /// scratch buffers. Request j occupies column block [j*n, (j+1)*n)
+  /// (GEMM) / batch block [j*batch, (j+1)*batch) (conv), filled in the
+  /// exact element order a width-1 run uses.
+  const Matrix<float>& FusedGemmInput(int k, int n, int width);
+  const Tensor4& FusedConvInput(const ConvShape& shape, int width);
 
   /// Re-ranks each layer's top candidates by measured time (packs them
   /// through the cache, so the work is reused by Run).
@@ -137,8 +168,12 @@ class Engine {
   std::shared_ptr<PackedWeightCache> cache_;  // owned unless injected
   std::vector<std::optional<Matrix<float>>> masters_;
 
-  // Streaming state + per-engine scratch, reused across layers and Runs.
-  std::vector<float> stream_;
+  // Streaming state + per-engine scratch, reused across layers and
+  // Runs. streams_[j] is request j's activation stream; the fused input
+  // scratch is re-shaped to the current batch width on every layer (see
+  // Matrix::Reshape — exact extent, so a narrow batch after a wide one
+  // never reads the wide batch's tail columns).
+  std::vector<std::vector<float>> streams_;
   Matrix<float> gemm_input_scratch_;
   Tensor4 conv_input_scratch_;
 };

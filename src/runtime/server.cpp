@@ -1,5 +1,7 @@
 #include "runtime/server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -13,6 +15,9 @@ BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
     : opts_(opts), cache_(std::make_shared<PackedWeightCache>()) {
   SHFLBW_CHECK_MSG(opts_.replicas >= 1, "server needs at least one replica");
   SHFLBW_CHECK_MSG(opts_.queue_capacity >= 1, "queue capacity must be >= 1");
+  SHFLBW_CHECK_MSG(opts_.max_batch >= 1, "max_batch must be >= 1");
+  SHFLBW_CHECK_MSG(opts_.coalesce_window_seconds >= 0.0,
+                   "coalesce window must be >= 0");
   // Autotune re-ranks plans by wall-clock measurement; replicas could
   // diverge onto different plans, breaking both cache sharing and the
   // bit-identical guarantee. Force the deterministic planner.
@@ -86,6 +91,15 @@ bool BatchServer::TrySubmit(Request req, std::future<Response>* out) {
 }
 
 void BatchServer::Drain() {
+  // The idle condition is evaluated under mu_ by wait() itself — both
+  // on entry and after every wakeup — so there is no unlocked
+  // check-then-wait gap for a concurrent Submit to slip through:
+  // either the submit lands before a predicate evaluation (next_id_
+  // grows, Drain keeps waiting for its completion) or after Drain has
+  // already observed completed_ == next_id_ and returned, which is
+  // correct — that request was not "submitted so far". completed_ is
+  // only ever incremented under mu_, batch-atomically with the
+  // idle_ notification, so Drain cannot miss the transition either.
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [&] { return completed_ == next_id_; });
 }
@@ -113,35 +127,83 @@ ServerStats BatchServer::Stats() const {
 
 void BatchServer::ReplicaLoop(int replica) {
   Engine& engine = *engines_[static_cast<std::size_t>(replica)];
+  const std::size_t max_batch =
+      static_cast<std::size_t>(std::max(1, opts_.max_batch));
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
     // Drain-on-shutdown: keep serving until the queue is empty, so
     // every future obtained from Submit resolves.
     if (queue_.empty()) return;  // implies stop_
-    Pending p = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    // Coalescing window: hold a partial batch open briefly so closely
+    // spaced requests fuse into one launch. Bounded (fairness — the
+    // oldest request pays at most the window on top of its queue wait)
+    // and cut short by shutdown or a sealed batch. A batch seals at
+    // max_batch, clamped to the queue capacity: with a bounded queue
+    // shorter than max_batch, Submit blocks at capacity, so a
+    // capacity-full queue is as fused as this server can get and must
+    // launch rather than stall out the whole window. The queue can
+    // have been emptied by a sibling replica when the wait returns, so
+    // re-loop rather than assume work remains.
+    const std::size_t seal = std::min(max_batch, opts_.queue_capacity);
+    if (opts_.coalesce_window_seconds > 0 && !stop_ &&
+        queue_.size() < seal) {
+      not_empty_.wait_for(
+          lock,
+          std::chrono::duration<double>(opts_.coalesce_window_seconds),
+          [&] { return stop_ || queue_.size() >= seal; });
+      if (queue_.empty()) continue;
+    }
 
+    // Seal the batch: the K oldest requests, FIFO submission order.
+    const std::size_t take = std::min(max_batch, queue_.size());
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    // K slots freed: wake every blocked Submit, not just one.
+    if (take > 1) {
+      not_full_.notify_all();
+    } else {
+      not_full_.notify_one();
+    }
+
+    // queue_seconds stops here — coalesce time — for every request in
+    // the batch; run_seconds covers the fused launch, so the split
+    // still sums to submit-to-completion per request.
     const double dispatch_time = NowSeconds();
-    Response resp;
-    resp.id = p.id;
-    resp.replica = replica;
-    resp.queue_seconds = dispatch_time - p.submit_time;
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(take);
+    for (const Pending& p : batch) seeds.push_back(p.req.activation_seed);
     try {
-      RunResult run = engine.Run(p.req.activation_seed);
-      resp.run_seconds = NowSeconds() - dispatch_time;
-      resp.packs_performed = run.packs_performed;
-      resp.output = std::move(run.output);
-      p.promise.set_value(std::move(resp));
+      BatchRunResult run = engine.RunBatched(seeds);
+      const double done = NowSeconds();
+      for (std::size_t i = 0; i < take; ++i) {
+        Pending& p = batch[i];
+        Response resp;
+        resp.id = p.id;
+        resp.replica = replica;
+        resp.batch_width = static_cast<int>(take);
+        resp.queue_seconds = dispatch_time - p.submit_time;
+        resp.run_seconds = done - dispatch_time;
+        resp.packs_performed = run.packs_performed;
+        resp.output = std::move(run.outputs[i]);
+        p.promise.set_value(std::move(resp));
+      }
     } catch (...) {
-      p.promise.set_exception(std::current_exception());
+      for (Pending& p : batch) {
+        p.promise.set_exception(std::current_exception());
+      }
     }
 
     lock.lock();
-    ++completed_;
-    ++per_replica_[static_cast<std::size_t>(replica)];
+    // Retire the whole batch under one lock hold, atomically with the
+    // idle_ notification Drain waits on.
+    completed_ += take;
+    per_replica_[static_cast<std::size_t>(replica)] += take;
     if (completed_ == next_id_) idle_.notify_all();
   }
 }

@@ -2,16 +2,27 @@
 // shape of the paper's pitch. A BatchServer owns N Engine replicas of
 // one model sharing a single PackedWeightCache (the pack phase is paid
 // once, not once per replica), a bounded MPMC request queue, and one
-// scheduler thread per replica that pops requests as soon as its
-// replica is idle. Underneath, concurrent replica Runs partition the
-// persistent ParallelFor pool (common/thread_pool.h), so R replicas on
-// a C-core box each execute kernels on ~C/R workers side by side
-// instead of time-slicing behind a region lock.
+// scheduler thread per replica. Underneath, concurrent replica Runs
+// partition the persistent ParallelFor pool (common/thread_pool.h), so
+// R replicas on a C-core box each execute kernels on ~C/R workers side
+// by side instead of time-slicing behind a region lock.
+//
+// Cross-request fused batching: an idle replica coalesces up to
+// `max_batch` queued requests into ONE Engine::RunBatched call — their
+// activations pack into a single n*K-column matrix per layer, so K
+// requests cost one kernel launch per layer instead of K. Small-batch
+// serving is exactly the regime where per-request launches underfeed
+// the tile-parallel kernels; fusing re-widens them. Fairness is FIFO:
+// a batch is always the K oldest queued requests (never reordered),
+// and `coalesce_window_seconds` bounds how long a partial batch may
+// wait for company, so no request trades unbounded latency for
+// someone else's throughput.
 //
 // Determinism is preserved end to end: a request is a whole-model Run
 // keyed by an activation seed, and its output matrix is bit-identical
 // to running the same seed on a standalone single-threaded Engine — no
-// matter which replica served it or what else was in flight.
+// matter which replica served it, what else was in flight, or which
+// requests it was fused with (RunBatched's per-column-block contract).
 #pragma once
 
 #include <condition_variable>
@@ -29,12 +40,23 @@ namespace shflbw {
 namespace runtime {
 
 struct ServerOptions {
-  /// Engine replicas == scheduler threads == max requests in flight.
+  /// Engine replicas == scheduler threads.
   int replicas = 2;
   /// Bound of the request queue (requests admitted but not yet
   /// dispatched). Submit blocks when the queue is full — backpressure
   /// instead of unbounded memory growth.
   std::size_t queue_capacity = 64;
+  /// Max requests a replica coalesces into one fused RunBatched launch
+  /// (1 = classic one-request-per-launch serving). Coalescing is FIFO:
+  /// the batch is always the oldest queued requests, in submission
+  /// order.
+  int max_batch = 8;
+  /// How long an idle replica holds a partial batch open waiting for
+  /// more requests before launching it (0 = launch immediately with
+  /// whatever is queued). A bounded window is the fairness knob: it
+  /// caps the extra queue latency any request can pay toward someone
+  /// else's fused launch, and shutdown cuts it short.
+  double coalesce_window_seconds = 0.0;
   /// Options shared by every replica. `planner.autotune` is forced off:
   /// autotune re-ranks by wall-clock measurement, so replicas could
   /// diverge onto different plans and the shared-cache + bit-identical
@@ -52,10 +74,18 @@ struct Request {
 struct Response {
   std::uint64_t id = 0;    // submission order, dense from 0
   int replica = -1;        // which replica served it
+  int batch_width = 1;     // requests fused into the launch that served it
   Matrix<float> output;    // final layer output (bit-identical to serial)
-  double queue_seconds = 0;  // submit -> dispatch wait
-  double run_seconds = 0;    // dispatch -> completion (Engine::Run)
-  std::size_t packs_performed = 0;  // conversions this run triggered
+  /// Latency split. queue_seconds stops at coalesce time (when the
+  /// replica seals the batch this request joined — including any
+  /// coalesce-window wait) and run_seconds covers the fused launch, so
+  /// queue_seconds + run_seconds == submit-to-completion for every
+  /// request, fused or not.
+  double queue_seconds = 0;  // submit -> batch sealed (dispatch)
+  double run_seconds = 0;    // dispatch -> completion (fused RunBatched)
+  /// Conversions the serving launch triggered (shared by every request
+  /// in the fused batch; 0 in the warmed steady state).
+  std::size_t packs_performed = 0;
 };
 
 struct ServerStats {
@@ -97,7 +127,12 @@ class BatchServer {
   /// when the queue is full or the server is shut down.
   bool TrySubmit(Request req, std::future<Response>* out);
 
-  /// Blocks until every request submitted so far has completed.
+  /// Blocks until the server is idle: completed == submitted, checked
+  /// (and re-checked after every wakeup) under the queue mutex, so a
+  /// submit landing while Drain is blocked can never slip between a
+  /// stale check and the wait and let Drain() return with requests
+  /// still in flight. Note completed counts are batch-atomic: a fused
+  /// launch retires all K of its requests under one lock hold.
   void Drain();
 
   /// Stops accepting new requests, drains the queue, joins the replica

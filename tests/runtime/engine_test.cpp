@@ -122,6 +122,44 @@ TEST(Engine, AutotunePacksAtPlanTimeAndKeepsRunsCacheOnly) {
   EXPECT_TRUE(any_measured);
 }
 
+// Regression: with autotune_top_k far above the number of feasible
+// candidates, the plan summary must still only report genuinely
+// measured winners — a candidate skipped by feasibility rules keeps
+// measured_s == 0 and can never surface as an "autotuned" choice.
+TEST(Engine, AutotuneReportsOnlyGenuinelyMeasuredWinners) {
+  EngineOptions opts = SmallOptions();
+  opts.planner.autotune = true;
+  opts.planner.autotune_top_k = 1000;  // clamped to the feasible count
+  Engine engine(SmallTransformer(), opts);
+  for (const LayerPlan& lp : engine.Plan().layers) {
+    int feasible = 0;
+    int measured = 0;
+    for (const FormatCandidate& c : lp.candidates) {
+      if (c.feasible) ++feasible;
+      if (c.measured_s > 0) ++measured;
+      // Infeasible candidates are never timed.
+      if (!c.feasible) {
+        EXPECT_EQ(c.measured_s, 0.0) << lp.name;
+      }
+      // No measurement can exceed the feasible candidate count, no
+      // matter how large top_k was.
+      EXPECT_LE(measured, feasible) << lp.name;
+    }
+    if (lp.autotuned) {
+      // The reported winner is one of the measured candidates, with a
+      // real (> 0) sample behind it.
+      bool winner_measured = false;
+      for (const FormatCandidate& c : lp.candidates) {
+        if (c.format == lp.format && c.measured_s > 0) {
+          winner_measured = true;
+        }
+      }
+      EXPECT_TRUE(winner_measured) << lp.name;
+      EXPECT_GE(measured, 2) << lp.name;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace runtime
 }  // namespace shflbw

@@ -1,14 +1,20 @@
 // BatchServer contract: every request's output is bit-identical to a
-// standalone serial Engine run with the same seed, the shared cache
-// packs each (layer, format) exactly once across all replicas, the
-// bounded queue applies backpressure, and shutdown resolves every
-// admitted request.
+// standalone serial Engine run with the same seed (including when
+// coalesced into a fused multi-request launch), the shared cache packs
+// each (layer, format) exactly once across all replicas, the bounded
+// queue applies backpressure, Drain never returns with requests in
+// flight, and shutdown resolves every admitted request.
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/thread_pool.h"
 #include "runtime/server.h"
 
@@ -162,6 +168,194 @@ TEST(BatchServer, ShutdownDrainsAdmittedRequestsAndRejectsNew) {
   std::future<Response> fut;
   EXPECT_FALSE(server->TrySubmit(Request{}, &fut));
   server.reset();  // double shutdown via destructor is safe
+}
+
+TEST(BatchServer, CoalescesRequestsIntoFusedLaunches) {
+  ThreadGuard guard;
+  SetParallelThreads(2);
+  constexpr int kRequests = 8;
+
+  SetParallelThreads(1);
+  std::map<std::uint64_t, Matrix<float>> ref;
+  {
+    Engine engine(SmallTransformer(), SmallOptions());
+    for (int i = 0; i < kRequests; ++i) {
+      const std::uint64_t seed = 0x3000u + static_cast<std::uint64_t>(i);
+      ref.emplace(seed, engine.Run(seed).output);
+    }
+  }
+  SetParallelThreads(2);
+
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.engine = SmallOptions();
+  opts.max_batch = kRequests;
+  // Generous window: the replica holds its first partial batch open
+  // until all kRequests (== max_batch) are queued, making the fused
+  // width deterministic.
+  opts.coalesce_window_seconds = 5.0;
+  BatchServer server(SmallTransformer(), opts);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    Request req;
+    req.activation_seed = 0x3000u + static_cast<std::uint64_t>(i);
+    futures.push_back(server.Submit(req));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    Response resp = futures[static_cast<std::size_t>(i)].get();
+    const std::uint64_t seed = 0x3000u + static_cast<std::uint64_t>(i);
+    // All eight fused into one launch, each output still bit-identical
+    // to its serial single-request run.
+    EXPECT_EQ(resp.batch_width, kRequests) << "request " << i;
+    ASSERT_EQ(resp.output, ref.at(seed)) << "request " << i;
+  }
+}
+
+TEST(BatchServer, CoalescingWindowLaunchesPartialBatches) {
+  ThreadGuard guard;
+  SetParallelThreads(1);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.engine = SmallOptions();
+  opts.max_batch = 64;  // never reachable with 3 requests
+  opts.coalesce_window_seconds = 0.05;
+  BatchServer server(SmallTransformer(), opts);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(server.Submit(Request{}));
+  // The window expires with only 3 queued; the batch launches anyway —
+  // a partial batch must never wait forever for a full one.
+  for (auto& f : futures) {
+    Response resp = f.get();
+    EXPECT_GE(resp.batch_width, 1);
+    EXPECT_LE(resp.batch_width, 3);
+  }
+}
+
+// Regression: with queue_capacity < max_batch the seal threshold must
+// clamp to the capacity — a capacity-full queue is as fused as the
+// server can get, so it must launch immediately instead of stalling
+// out the whole coalescing window on an unreachable max_batch.
+TEST(BatchServer, WindowSealClampsToQueueCapacity) {
+  ThreadGuard guard;
+  SetParallelThreads(1);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.engine = SmallOptions();
+  opts.queue_capacity = 2;
+  opts.max_batch = 8;          // unreachable: Submit blocks at 2
+  opts.coalesce_window_seconds = 5.0;  // would dominate if waited out
+  BatchServer server(SmallTransformer(), opts);
+  const double t0 = NowSeconds();
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.Submit(Request{}));
+  for (auto& f : futures) {
+    EXPECT_LE(f.get().batch_width, 2);
+  }
+  // Unfixed, every launch waits the full 5 s window (>= 10 s total);
+  // sealed-at-capacity launches finish in milliseconds.
+  EXPECT_LT(NowSeconds() - t0, 4.0);
+}
+
+// Regression (TSan-covered): Drain must re-check completed == submitted
+// under the queue mutex on every wakeup, so a Submit racing the wait
+// can never let Drain return with that request still in flight.
+// Hammered here with concurrent submitters + concurrent drainers; every
+// Drain return asserts that all futures whose submission
+// happened-before the Drain call are already resolved.
+TEST(BatchServer, DrainNeverReturnsEarlyUnderConcurrentSubmits) {
+  ThreadGuard guard;
+  SetParallelThreads(2);
+  constexpr int kSubmitters = 3;
+  constexpr int kPerSubmitter = 6;
+
+  ServerOptions opts;
+  opts.replicas = 2;
+  opts.engine = SmallOptions();
+  opts.max_batch = 4;
+  BatchServer server(SmallTransformer(), opts);
+
+  std::mutex futures_mu;
+  std::vector<std::future<Response>> futures;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        Request req;
+        req.activation_seed =
+            0x4000u + static_cast<std::uint64_t>(t * 100 + i);
+        std::future<Response> fut = server.Submit(req);
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(fut));
+      }
+    });
+  }
+
+  std::thread drainer([&] {
+    while (!done.load()) {
+      // Snapshot the futures submitted so far, then Drain: when Drain
+      // returns, every one of them must already be resolved (an early
+      // return would surface here as a non-ready future).
+      std::vector<std::size_t> snapshot_ids;
+      {
+        std::lock_guard<std::mutex> lock(futures_mu);
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          snapshot_ids.push_back(i);
+        }
+      }
+      server.Drain();
+      std::lock_guard<std::mutex> lock(futures_mu);
+      for (std::size_t i : snapshot_ids) {
+        EXPECT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready)
+            << "Drain returned with request " << i << " still in flight";
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : submitters) t.join();
+  server.Drain();
+  done.store(true);
+  drainer.join();
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kSubmitters * kPerSubmitter));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  std::lock_guard<std::mutex> lock(futures_mu);
+  for (auto& f : futures) EXPECT_GT(f.get().output.size(), 0u);
+}
+
+// The latency split must keep summing to submit-to-completion when
+// requests are coalesced: queue_seconds stops at coalesce (batch-seal)
+// time — including any coalescing-window wait — and run_seconds covers
+// the fused launch.
+TEST(BatchServer, CoalescedLatencySplitSumsToSubmitToCompletion) {
+  ThreadGuard guard;
+  SetParallelThreads(2);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.engine = SmallOptions();
+  opts.max_batch = 4;
+  opts.coalesce_window_seconds = 0.02;
+  BatchServer server(SmallTransformer(), opts);
+  server.Warmup();
+
+  const double t_submit = NowSeconds();
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.Submit(Request{}));
+  for (auto& f : futures) {
+    Response resp = f.get();
+    const double elapsed = NowSeconds() - t_submit;
+    EXPECT_GE(resp.queue_seconds, 0.0);
+    EXPECT_GT(resp.run_seconds, 0.0);
+    // queue + run covers exactly submit -> completion, so it can never
+    // exceed the externally observed submit -> get() span (get() adds
+    // only wakeup latency on top).
+    EXPECT_LE(resp.queue_seconds + resp.run_seconds, elapsed + 1e-3);
+  }
 }
 
 TEST(BatchServer, LatencyBreakdownIsSane) {
