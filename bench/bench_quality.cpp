@@ -1,0 +1,524 @@
+// Quality-vs-latency benchmark: the runtime analogue of Table 1.
+//
+// For Transformer, GNMT and a scaled ResNet50 stage it runs the engine
+// under three policies — all-dense, speed-only auto-selection (the
+// quality-blind cost-model ranking), and quality-constrained plans at
+// a sweep of retained-importance floors — and writes the resulting
+// quality/latency Pareto frontier to BENCH_quality.json, together with
+// the Table 1 quality ordering of the prune patterns at equal density
+// (block-wise retains least, unstructured most, Shfl-BW recovering
+// most of the vector-wise gap).
+//
+// Flags: --smoke (tiny configs, 1 rep — the CI gate)
+//        --out=FILE (default BENCH_quality.json)
+//        --reps=N (default 2, best-of over whole-model runs)
+//        --gpu=V100|T4|A100 (planner cost model, default V100)
+//        --v=N (vector/block granularity, default 32; 8 in smoke)
+//
+// Exit status: non-zero if ANY of the deterministic guarantees fails
+// (enforced in smoke runs too — none of them depend on timing):
+//   - a quality-constrained plan misses its retained-score floor
+//     (per-layer min ratio < floor, or aggregate ratio < floor for the
+//     aggregate-mode plan);
+//   - a quality-constrained plan exceeds the all-dense modelled
+//     latency (dense always qualifies, so the planner may never do
+//     worse than falling back);
+//   - planning is not bit-deterministic (same options -> same plan);
+//   - Engine::Run on a quality-constrained plan is not bit-identical
+//     across thread counts;
+//   - the Table 1 quality ordering (unstructured >= shfl-bw >=
+//     vector-wise >= block-wise) fails on the probe shape.
+// The measured latency envelope (speed-only <= quality <= dense) is
+// REPORTED per floor but not gated: wall-clock comparisons are noisy,
+// and a low floor can legitimately beat the speed-only plan by picking
+// a ladder density below the speed plan's global one.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "model/weight_synth.h"
+#include "prune/block_wise.h"
+#include "prune/importance.h"
+#include "prune/shfl_bw_search.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+#include "quality/quality_evaluator.h"
+#include "runtime/engine.h"
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+quality::QualityEvaluator& Evaluator() {
+  return quality::QualityEvaluator::Shared();
+}
+
+struct FloorReport {
+  double floor = 0;
+  bool aggregate = false;   // floor mode of this entry
+  ExecutionPlan plan;
+  RunResult run;            // best-of steady-state
+  double min_ratio = -1;
+  double aggregate_ratio = -1;
+  bool meets_floor = false;
+  bool within_dense_model_envelope = false;
+
+  double Ms() const { return run.weighted_seconds * 1e3; }
+  double ModeledMs() const { return plan.ModeledTotalSeconds() * 1e3; }
+};
+
+struct ModelReport {
+  std::string config;
+  double dense_ms = 0;
+  double dense_modeled_ms = 0;
+  // Speed-only (quality-blind) auto plan, ratios evaluated post hoc.
+  double speed_ms = 0;
+  double speed_modeled_ms = 0;
+  double speed_min_ratio = -1;
+  double speed_aggregate_ratio = -1;
+  std::vector<FloorReport> floors;
+  bool plan_deterministic = false;
+  bool thread_bit_identical = false;
+};
+
+RunResult BestRun(Engine& engine, int reps) {
+  RunResult best = engine.Run();
+  for (int r = 1; r < reps; ++r) {
+    RunResult next = engine.Run();
+    if (next.weighted_seconds < best.weighted_seconds) best = std::move(next);
+  }
+  return best;
+}
+
+/// Post-hoc quality of a (possibly speed-only) plan: evaluates each
+/// selected layer's mask and returns {min ratio, aggregate ratio}.
+std::pair<double, double> PlanQuality(const ModelDesc& model,
+                                      const ExecutionPlan& plan,
+                                      std::uint64_t weight_seed) {
+  double min_ratio = 2.0;
+  double weighted = 0.0, weight = 0.0;
+  for (const LayerPlan& lp : plan.layers) {
+    const LayerDesc& l = model.layers[static_cast<std::size_t>(lp.layer)];
+    const double ratio =
+        lp.retained_ratio >= 0.0
+            ? lp.retained_ratio
+            : Evaluator().LayerRetainedRatio(l, lp.layer, weight_seed,
+                                             lp.format, lp.density, lp.v);
+    const double w =
+        Evaluator().LayerTotalScore(l, lp.layer, weight_seed) * lp.repeat;
+    min_ratio = std::min(min_ratio, ratio);
+    weighted += w * ratio;
+    weight += w;
+  }
+  return {min_ratio, weight > 0 ? weighted / weight : -1.0};
+}
+
+bool PlansEqual(const ExecutionPlan& a, const ExecutionPlan& b) {
+  if (a.layers.size() != b.layers.size()) return false;
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const LayerPlan& x = a.layers[i];
+    const LayerPlan& y = b.layers[i];
+    if (x.format != y.format || x.density != y.density || x.v != y.v ||
+        x.modeled_s != y.modeled_s || x.retained_ratio != y.retained_ratio ||
+        x.candidates.size() != y.candidates.size()) {
+      return false;
+    }
+    for (std::size_t c = 0; c < x.candidates.size(); ++c) {
+      if (x.candidates[c].format != y.candidates[c].format ||
+          x.candidates[c].density != y.candidates[c].density ||
+          x.candidates[c].v != y.candidates[c].v ||
+          x.candidates[c].modeled_s != y.candidates[c].modeled_s ||
+          x.candidates[c].retained_ratio != y.candidates[c].retained_ratio) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+ModelReport RunModel(const ModelDesc& model, const std::string& config,
+                     const EngineOptions& base,
+                     const std::vector<double>& floors, int reps) {
+  ModelReport report;
+  report.config = config;
+
+  {
+    EngineOptions dense = base;
+    dense.planner.force_format = Format::kDense;
+    Engine engine(model, dense);
+    engine.Run();
+    const RunResult run = BestRun(engine, reps);
+    report.dense_ms = run.weighted_seconds * 1e3;
+    report.dense_modeled_ms = engine.Plan().ModeledTotalSeconds() * 1e3;
+  }
+  {
+    Engine engine(model, base);  // quality disabled: speed-only ranking
+    engine.Run();
+    const RunResult run = BestRun(engine, reps);
+    report.speed_ms = run.weighted_seconds * 1e3;
+    report.speed_modeled_ms = engine.Plan().ModeledTotalSeconds() * 1e3;
+    const auto [min_ratio, agg] =
+        PlanQuality(model, engine.Plan(), base.weight_seed);
+    report.speed_min_ratio = min_ratio;
+    report.speed_aggregate_ratio = agg;
+  }
+
+  for (double floor : floors) {
+    EngineOptions opts = base;
+    opts.planner.quality.enabled = true;
+    opts.planner.quality.min_retained_ratio = floor;
+    Engine engine(model, opts);
+    engine.Run();
+    FloorReport fr;
+    fr.floor = floor;
+    fr.run = BestRun(engine, reps);
+    fr.plan = engine.Plan();
+    const auto [min_ratio, agg] =
+        PlanQuality(model, fr.plan, opts.weight_seed);
+    fr.min_ratio = min_ratio;
+    fr.aggregate_ratio = agg;
+    fr.meets_floor = fr.min_ratio + 1e-9 >= floor;
+    fr.within_dense_model_envelope =
+        fr.plan.ModeledTotalSeconds() <=
+        fr.plan.ModeledDenseSeconds() * (1 + 1e-12) + 1e-15;
+    report.floors.push_back(std::move(fr));
+  }
+
+  // One aggregate-mode plan at the highest floor: the relaxation that
+  // lets unimportant layers stay sparse while the importance-weighted
+  // mean meets the same floor.
+  if (!floors.empty()) {
+    EngineOptions opts = base;
+    opts.planner.quality.enabled = true;
+    opts.planner.quality.min_retained_ratio = floors.back();
+    opts.planner.quality.floor = QualityOptions::Floor::kAggregate;
+    Engine engine(model, opts);
+    engine.Run();
+    FloorReport fr;
+    fr.floor = floors.back();
+    fr.aggregate = true;
+    fr.run = BestRun(engine, reps);
+    fr.plan = engine.Plan();
+    const auto [min_ratio, agg] =
+        PlanQuality(model, fr.plan, opts.weight_seed);
+    fr.min_ratio = min_ratio;
+    fr.aggregate_ratio = agg;
+    fr.meets_floor = fr.aggregate_ratio + 1e-9 >= fr.floor;
+    fr.within_dense_model_envelope =
+        fr.plan.ModeledTotalSeconds() <=
+        fr.plan.ModeledDenseSeconds() * (1 + 1e-12) + 1e-15;
+    report.floors.push_back(std::move(fr));
+  }
+
+  // Determinism gate: the same options must reproduce the first
+  // quality plan bit-for-bit.
+  if (!report.floors.empty()) {
+    PlannerOptions popts = base.planner;
+    popts.quality.enabled = true;
+    popts.quality.min_retained_ratio = report.floors.front().floor;
+    popts.quality.weight_seed = base.weight_seed;
+    report.plan_deterministic =
+        PlansEqual(PlanModel(model, popts), report.floors.front().plan) &&
+        PlansEqual(PlanModel(model, popts), PlanModel(model, popts));
+  }
+
+  // Thread bit-identity gate on the lowest floor (the sparsest, most
+  // parallel plan): 1-thread output is the reference.
+  {
+    EngineOptions opts = base;
+    opts.planner.quality.enabled = true;
+    opts.planner.quality.min_retained_ratio =
+        floors.empty() ? 0.5 : floors.front();
+    SetParallelThreads(1);
+    Engine ref(model, opts);
+    const Matrix<float> expected = ref.Run().output;
+    report.thread_bit_identical = true;
+    for (int threads : {2, 4}) {
+      SetParallelThreads(threads);
+      Engine engine(model, opts);
+      if (!(engine.Run().output == expected)) {
+        report.thread_bit_identical = false;
+      }
+    }
+    SetParallelThreads(0);
+  }
+  return report;
+}
+
+struct OrderingProbe {
+  int m = 256, k = 256, v = 32;
+  double density = 0.25;
+  double unstructured = 0, shflbw = 0, vw = 0, bsr = 0;
+  bool Holds() const {
+    return unstructured >= shflbw && shflbw >= vw && vw >= bsr;
+  }
+};
+
+/// The Table 1 ordering on one probe shape, computed with the same
+/// maskers the evaluator and pack phase share.
+OrderingProbe ProbeOrdering(int v) {
+  OrderingProbe p;
+  p.v = v;
+  SynthWeightOptions opt;
+  opt.seed = 424242;
+  const Matrix<float> s =
+      MagnitudeScores(SynthesizeWeights(p.m, p.k, opt));
+  p.unstructured = RetainedScoreRatio(s, UnstructuredMask(s, p.density));
+  p.shflbw =
+      RetainedScoreRatio(s, ShflBwSearch(s, p.density, p.v).mask);
+  p.vw = RetainedScoreRatio(s, VectorWiseMask(s, p.density, p.v));
+  p.bsr = RetainedScoreRatio(s, BlockWiseMask(s, p.density, p.v));
+  return p;
+}
+
+void PrintModel(const ModelDesc& model, const ModelReport& r) {
+  std::printf("\n%s (%s)\n", model.name.c_str(), r.config.c_str());
+  std::printf("  %-22s %10s %10s %10s %10s\n", "plan", "ms", "modeled_ms",
+              "min_ratio", "agg_ratio");
+  std::printf("  %-22s %10.3f %10.3f %10s %10s\n", "all-dense", r.dense_ms,
+              r.dense_modeled_ms, "1.000", "1.000");
+  std::printf("  %-22s %10.3f %10.3f %10.3f %10.3f\n", "speed-only",
+              r.speed_ms, r.speed_modeled_ms, r.speed_min_ratio,
+              r.speed_aggregate_ratio);
+  for (const FloorReport& fr : r.floors) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "floor %.2f%s", fr.floor,
+                  fr.aggregate ? " (aggregate)" : "");
+    std::printf("  %-22s %10.3f %10.3f %10.3f %10.3f%s\n", label, fr.Ms(),
+                fr.ModeledMs(), fr.min_ratio, fr.aggregate_ratio,
+                fr.meets_floor ? "" : "  FLOOR MISSED");
+  }
+  std::printf("  plan deterministic: %s, thread bit-identical: %s\n",
+              r.plan_deterministic ? "yes" : "NO",
+              r.thread_bit_identical ? "yes" : "NO");
+  for (const FloorReport& fr : r.floors) {
+    if (fr.aggregate) continue;
+    std::printf("    floor %.2f layers:", fr.floor);
+    for (const LayerPlan& lp : fr.plan.layers) {
+      std::printf(" %s=%s@%.3g", lp.name.c_str(),
+                  FormatName(lp.format).c_str(), lp.density);
+    }
+    std::printf("\n");
+  }
+}
+
+bool WriteJson(const std::string& path, const EngineOptions& base,
+               const std::vector<double>& floors,
+               const OrderingProbe& probe,
+               const std::vector<ModelDesc>& models,
+               const std::vector<ModelReport>& reports) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"quality\",\n");
+  std::fprintf(f, "  \"gpu\": \"%s\",\n",
+               GetGpuSpec(base.planner.arch).name.c_str());
+  std::fprintf(f, "  \"v\": %d,\n  \"threads\": %d,\n", base.planner.v,
+               ParallelThreadCount());
+  std::fprintf(f, "  \"density_ladder\": [");
+  const auto& ladder = base.planner.quality.density_ladder;
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    std::fprintf(f, "%s%.4f", i ? ", " : "", ladder[i]);
+  }
+  std::fprintf(f, "],\n  \"floors\": [");
+  for (std::size_t i = 0; i < floors.size(); ++i) {
+    std::fprintf(f, "%s%.3f", i ? ", " : "", floors[i]);
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"note\": \"ms are repeat-weighted steady-state "
+               "wall-clock latencies of the CPU simulator; modeled_ms are "
+               "GPU cost-model times (compare ratios, not absolutes); "
+               "ratios are retained-score ratios, the Table 1 quality "
+               "proxy; the aggregate entry relaxes the per-layer floor to "
+               "an importance-weighted mean\",\n");
+  std::fprintf(f,
+               "  \"quality_ordering\": {\"m\": %d, \"k\": %d, \"v\": %d, "
+               "\"density\": %.3f, \"unstructured\": %.6f, \"shflbw\": %.6f, "
+               "\"vw\": %.6f, \"bsr\": %.6f, \"ordering_holds\": %s},\n",
+               probe.m, probe.k, probe.v, probe.density, probe.unstructured,
+               probe.shflbw, probe.vw, probe.bsr,
+               probe.Holds() ? "true" : "false");
+  std::fprintf(f, "  \"models\": [\n");
+  for (std::size_t m = 0; m < reports.size(); ++m) {
+    const ModelReport& r = reports[m];
+    std::fprintf(f, "    {\"model\": \"%s\", \"config\": \"%s\",\n",
+                 models[m].name.c_str(), r.config.c_str());
+    std::fprintf(f,
+                 "     \"dense\": {\"ms\": %.4f, \"modeled_ms\": %.4f},\n",
+                 r.dense_ms, r.dense_modeled_ms);
+    std::fprintf(f,
+                 "     \"speed_only\": {\"ms\": %.4f, \"modeled_ms\": %.4f, "
+                 "\"min_ratio\": %.6f, \"aggregate_ratio\": %.6f},\n",
+                 r.speed_ms, r.speed_modeled_ms, r.speed_min_ratio,
+                 r.speed_aggregate_ratio);
+    std::fprintf(f, "     \"pareto\": [\n");
+    for (std::size_t i = 0; i < r.floors.size(); ++i) {
+      const FloorReport& fr = r.floors[i];
+      std::fprintf(
+          f,
+          "       {\"floor\": %.3f, \"mode\": \"%s\", \"ms\": %.4f, "
+          "\"modeled_ms\": %.4f, \"min_ratio\": %.6f, "
+          "\"aggregate_ratio\": %.6f, \"meets_floor\": %s, "
+          "\"within_dense_model_envelope\": %s, \"layers\": [",
+          fr.floor, fr.aggregate ? "aggregate" : "per_layer", fr.Ms(),
+          fr.ModeledMs(), fr.min_ratio, fr.aggregate_ratio,
+          fr.meets_floor ? "true" : "false",
+          fr.within_dense_model_envelope ? "true" : "false");
+      for (std::size_t l = 0; l < fr.plan.layers.size(); ++l) {
+        const LayerPlan& lp = fr.plan.layers[l];
+        std::fprintf(f,
+                     "%s{\"name\": \"%s\", \"format\": \"%s\", "
+                     "\"density\": %.4f, \"v\": %d, \"ratio\": %.6f}",
+                     l ? ", " : "", lp.name.c_str(),
+                     FormatName(lp.format).c_str(), lp.density, lp.v,
+                     lp.retained_ratio);
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < r.floors.size() ? "," : "");
+    }
+    std::fprintf(f, "     ],\n");
+    std::fprintf(f,
+                 "     \"plan_deterministic\": %s, "
+                 "\"thread_bit_identical\": %s}%s\n",
+                 r.plan_deterministic ? "true" : "false",
+                 r.thread_bit_identical ? "true" : "false",
+                 m + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// ResNet50 truncated to shapes whose per-candidate Shfl-BW search
+/// stays sub-second: the conv path is exercised, the stage-4 weights
+/// (minutes of Fig. 5 search per ladder point) are left to the paper's
+/// offline setting.
+ModelDesc ScaledResNet(int image, int max_m, int max_k) {
+  ModelDesc model = ModelDesc::ResNet50(ResNet50Config{1, image});
+  std::erase_if(model.layers, [&](const LayerDesc& l) {
+    return l.GemmM() > max_m || l.GemmK() > max_k;
+  });
+  return model;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  int reps = 2;
+  std::string out = "BENCH_quality.json";
+  EngineOptions base;
+  base.planner.density = 0.25;  // the speed-only plan's global density
+  base.planner.v = 32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+      reps = std::max(1, std::atoi(argv[i] + 7));
+    else if (std::strncmp(argv[i], "--gpu=", 6) == 0)
+      base.planner.arch = ParseGpuArch(argv[i] + 6);
+    else if (std::strncmp(argv[i], "--v=", 4) == 0)
+      base.planner.v = std::max(1, std::atoi(argv[i] + 4));
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<ModelDesc> models;
+  std::vector<std::string> configs;
+  std::vector<double> floors;
+  if (smoke) {
+    reps = 1;
+    base.planner.v = 8;
+    floors = {0.7, 0.9};
+    models.push_back(
+        ModelDesc::Transformer(TransformerConfig{64, 128, 32, 1, 1}));
+    configs.push_back("d_model=64,d_ff=128,tokens=32,enc=1,dec=1");
+    models.push_back(ModelDesc::Gnmt(GnmtConfig{64, 32, 2, 2, 0}));
+    configs.push_back("hidden=64,tokens=32,enc=2,dec=2");
+    models.push_back(ScaledResNet(32, 256, 640));
+    configs.push_back("batch=1,image=32,small-stages");
+  } else {
+    floors = {0.5, 0.7, 0.85, 0.95};
+    models.push_back(
+        ModelDesc::Transformer(TransformerConfig{256, 1024, 128, 2, 2}));
+    configs.push_back("d_model=256,d_ff=1024,tokens=128,enc=2,dec=2");
+    models.push_back(ModelDesc::Gnmt(GnmtConfig{256, 128, 2, 2, 0}));
+    configs.push_back("hidden=256,tokens=128,enc=2,dec=2");
+    models.push_back(ScaledResNet(64, 512, 1152));
+    configs.push_back("batch=1,image=64,small-stages");
+  }
+
+  std::printf(
+      "bench_quality: %d thread(s), %d rep(s), gpu %s, v %d, floors [",
+      ParallelThreadCount(), reps, GetGpuSpec(base.planner.arch).name.c_str(),
+      base.planner.v);
+  for (std::size_t i = 0; i < floors.size(); ++i) {
+    std::printf("%s%.2f", i ? ", " : "", floors[i]);
+  }
+  std::printf("]\n");
+
+  const OrderingProbe probe = ProbeOrdering(base.planner.v);
+  std::printf("\nTable 1 ordering probe (%dx%d, density %.2f, V=%d): "
+              "unstructured %.3f >= shfl-bw %.3f >= vw %.3f >= bsr %.3f: %s\n",
+              probe.m, probe.k, probe.density, probe.v, probe.unstructured,
+              probe.shflbw, probe.vw, probe.bsr,
+              probe.Holds() ? "holds" : "VIOLATED");
+
+  std::vector<ModelReport> reports;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    reports.push_back(
+        RunModel(models[m], configs[m], base, floors, reps));
+    PrintModel(models[m], reports.back());
+  }
+
+  const bool wrote = WriteJson(out, base, floors, probe, models, reports);
+  if (wrote) std::printf("\nwrote %s\n", out.c_str());
+
+  bool ok = wrote && probe.Holds();
+  for (std::size_t m = 0; m < reports.size(); ++m) {
+    const ModelReport& r = reports[m];
+    if (!r.plan_deterministic) {
+      std::fprintf(stderr, "FAIL: %s quality plan is not deterministic\n",
+                   models[m].name.c_str());
+      ok = false;
+    }
+    if (!r.thread_bit_identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s quality-constrained run differs across "
+                   "thread counts\n",
+                   models[m].name.c_str());
+      ok = false;
+    }
+    for (const FloorReport& fr : r.floors) {
+      if (!fr.meets_floor) {
+        std::fprintf(stderr,
+                     "FAIL: %s floor %.2f (%s) missed: min %.4f agg %.4f\n",
+                     models[m].name.c_str(), fr.floor,
+                     fr.aggregate ? "aggregate" : "per_layer", fr.min_ratio,
+                     fr.aggregate_ratio);
+        ok = false;
+      }
+      if (!fr.within_dense_model_envelope) {
+        std::fprintf(stderr,
+                     "FAIL: %s floor %.2f modelled latency exceeds the "
+                     "all-dense envelope\n",
+                     models[m].name.c_str(), fr.floor);
+        ok = false;
+      }
+    }
+  }
+  if (!probe.Holds()) {
+    std::fprintf(stderr, "FAIL: Table 1 quality ordering violated\n");
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace shflbw
+
+int main(int argc, char** argv) { return shflbw::runtime::Main(argc, argv); }

@@ -7,8 +7,11 @@
 // Also shows the two planner policies that matter in practice:
 //   - unrestricted speed ranking (may pick block-wise, which Table 1
 //     shows costs accuracy at high sparsity);
-//   - a quality-constrained plan that excludes the accuracy-hostile
-//     patterns, which selects the paper's Shfl-BW family.
+//   - a plan that hard-excludes the accuracy-hostile patterns, which
+//     selects the paper's Shfl-BW family. (For the graded version of
+//     this control — a retained-importance floor searched over
+//     per-layer densities instead of an all-or-nothing blocklist —
+//     see examples/quality_planning.cpp.)
 #include <cstdio>
 
 #include "runtime/engine.h"
@@ -63,7 +66,7 @@ int main() {
   constrained.planner.exclude = {Format::kCsr, Format::kBsr,
                                  Format::kBalanced24};
   Engine quality_engine(ModelDesc::Transformer(base), constrained);
-  std::printf("\nQuality-constrained plan (no csr/bsr/2:4):\n");
+  std::printf("\nExclude-list plan (no csr/bsr/2:4):\n");
   PrintPlan(quality_engine.Plan());
 
   // --- Pack + execute a scaled-down replica (the functional simulator

@@ -1,0 +1,98 @@
+#include "quality/quality_evaluator.h"
+
+#include "common/check.h"
+#include "model/weight_synth.h"
+#include "prune/balanced24_prune.h"
+#include "prune/block_wise.h"
+#include "prune/importance.h"
+#include "prune/shfl_bw_search.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace quality {
+
+const QualityEvaluator::ScoresEntry& QualityEvaluator::Scores(
+    int m, int k, std::uint64_t seed) {
+  const ScoresKey key{m, k, seed};
+  auto it = scores_.find(key);
+  if (it == scores_.end()) {
+    SynthWeightOptions synth;
+    synth.seed = seed;
+    ScoresEntry entry;
+    entry.scores = MagnitudeScores(SynthesizeWeights(m, k, synth));
+    for (float s : entry.scores.storage()) entry.total += s;
+    it = scores_.emplace(key, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+double QualityEvaluator::RetainedRatio(int m, int k, std::uint64_t seed,
+                                       runtime::Format format, double density,
+                                       int v) {
+  if (format == runtime::Format::kDense) return 1.0;
+  SHFLBW_CHECK_MSG(density > 0.0 && density <= 1.0,
+                   "kept density must be in (0, 1], got " << density);
+  SHFLBW_CHECK_MSG(v >= 1, "granularity v must be >= 1, got " << v);
+  const RatioKey key{m, k, seed, static_cast<int>(format), density, v};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ratios_.find(key);
+  if (it != ratios_.end()) return it->second;
+
+  // Exactly the masks PackWeight applies (runtime/weight_cache.cpp):
+  // every pruner scores by magnitude and ShflBwSearch runs with its
+  // default (fixed-seed) options, so planning-time quality == the
+  // quality of the packed weight the engine executes.
+  const ScoresEntry& entry = Scores(m, k, seed);
+  Matrix<float> mask;
+  switch (format) {
+    case runtime::Format::kCsr:
+      mask = UnstructuredMask(entry.scores, density);
+      break;
+    case runtime::Format::kBsr:
+      mask = BlockWiseMask(entry.scores, density, v);
+      break;
+    case runtime::Format::kBalanced24:
+      mask = Balanced24Mask(entry.scores);  // density fixed at 0.5
+      break;
+    case runtime::Format::kVectorWise:
+      mask = VectorWiseMask(entry.scores, density, v);
+      break;
+    case runtime::Format::kShflBw:
+      mask = ShflBwSearch(entry.scores, density, v).mask;
+      break;
+    case runtime::Format::kDense:
+      break;  // handled above
+  }
+  const double ratio = RetainedScoreRatio(entry.scores, mask);
+  ++evaluations_;
+  ratios_.emplace(key, ratio);
+  return ratio;
+}
+
+double QualityEvaluator::LayerRetainedRatio(const runtime::LayerDesc& l,
+                                            int layer,
+                                            std::uint64_t weight_seed,
+                                            runtime::Format format,
+                                            double density, int v) {
+  return RetainedRatio(l.GemmM(), l.GemmK(),
+                       weight_seed + static_cast<std::uint64_t>(layer),
+                       format, density, v);
+}
+
+double QualityEvaluator::LayerTotalScore(const runtime::LayerDesc& l,
+                                         int layer,
+                                         std::uint64_t weight_seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Scores(l.GemmM(), l.GemmK(),
+                weight_seed + static_cast<std::uint64_t>(layer))
+      .total;
+}
+
+QualityEvaluator& QualityEvaluator::Shared() {
+  static QualityEvaluator* instance = new QualityEvaluator();
+  return *instance;
+}
+
+}  // namespace quality
+}  // namespace shflbw

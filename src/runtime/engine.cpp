@@ -33,8 +33,23 @@ Engine::Engine(ModelDesc model, EngineOptions opts,
 
 const ExecutionPlan& Engine::Plan() {
   if (plan_) return *plan_;
-  plan_ = PlanModel(model_, opts_.planner);
-  if (opts_.planner.autotune && !opts_.planner.force_format) Autotune();
+  // Quality evaluation must score exactly the masters this engine
+  // packs, so the engine's weight seed overrides whatever the caller
+  // left in the quality options.
+  PlannerOptions popts = opts_.planner;
+  if (popts.quality.enabled) popts.quality.weight_seed = opts_.weight_seed;
+  plan_ = PlanModel(model_, popts);
+  // An aggregate quality floor is a whole-model constraint: re-ranking
+  // any single layer empirically could silently break it, so autotune
+  // is skipped there. Per-layer floors filter candidates instead (see
+  // Autotune).
+  const bool aggregate_floor =
+      popts.quality.enabled &&
+      popts.quality.floor == QualityOptions::Floor::kAggregate;
+  if (opts_.planner.autotune && !opts_.planner.force_format &&
+      !aggregate_floor) {
+    Autotune();
+  }
   return *plan_;
 }
 
@@ -49,14 +64,15 @@ const Matrix<float>& Engine::MasterWeight(int layer) {
   return *slot;
 }
 
-const PackedWeight& Engine::Packed(int layer, Format format) {
+const PackedWeight& Engine::Packed(int layer, Format format, double density,
+                                   int v) {
   // Lazy master: a cache hit (the steady state, and every layer of a
   // replica running behind a shared warmed cache) never synthesizes or
   // retains the dense master weight.
   return cache_->GetOrPack(
       layer, format,
-      [&]() -> const Matrix<float>& { return MasterWeight(layer); },
-      opts_.planner.density, opts_.planner.v);
+      [&]() -> const Matrix<float>& { return MasterWeight(layer); }, density,
+      v);
 }
 
 KernelResult Engine::ExecuteGemm(const PackedWeight& w,
@@ -172,7 +188,8 @@ BatchRunResult Engine::RunBatched(const std::vector<std::uint64_t>& seeds) {
   for (std::size_t i = 0; i < model_.layers.size(); ++i) {
     const LayerDesc& l = model_.layers[i];
     const LayerPlan& lp = plan.layers[i];
-    const PackedWeight& w = Packed(static_cast<int>(i), lp.format);
+    const PackedWeight& w =
+        Packed(static_cast<int>(i), lp.format, lp.density, lp.v);
 
     // ONE kernel launch per layer for all `width` requests: GEMM layers
     // widen N to n*width (request j = column block j), conv layers
@@ -271,9 +288,9 @@ BatchRunResult Engine::RunBatched(const std::vector<std::uint64_t>& seeds) {
   return result;
 }
 
-double Engine::TimeLayerOnce(int layer, Format format) {
+double Engine::TimeLayerOnce(int layer, const FormatCandidate& cand) {
   const LayerDesc& l = model_.layers[static_cast<std::size_t>(layer)];
-  const PackedWeight& w = Packed(layer, format);
+  const PackedWeight& w = Packed(layer, cand.format, cand.density, cand.v);
   // Deterministic throwaway activations at this layer's shape.
   Rng rng(opts_.activation_seed ^ 0x7a11u);
   if (l.kind == LayerKind::kGemm) {
@@ -291,30 +308,40 @@ double Engine::TimeLayerOnce(int layer, Format format) {
 }
 
 void Engine::Autotune() {
+  const QualityOptions& q = opts_.planner.quality;
+  const bool floor_per_layer =
+      q.enabled && q.floor == QualityOptions::Floor::kPerLayer;
   for (LayerPlan& lp : plan_->layers) {
-    // Feasible candidates sort first; only they can be timed. Clamp
-    // top_k to the feasible count, so a generous autotune_top_k never
-    // implies more measurements than were actually taken.
-    int feasible = 0;
-    for (const FormatCandidate& c : lp.candidates) {
-      if (!c.feasible) break;
-      ++feasible;
+    // Only feasible candidates can be timed, and under a per-layer
+    // quality floor only candidates MEETING the floor are eligible —
+    // autotune re-ranks within the quality-qualified set, it never
+    // trades retained importance away for measured speed. Clamp top_k
+    // to the eligible count, so a generous autotune_top_k never implies
+    // more measurements than were actually taken.
+    std::vector<std::size_t> eligible;
+    for (std::size_t c = 0; c < lp.candidates.size(); ++c) {
+      const FormatCandidate& cand = lp.candidates[c];
+      if (!cand.feasible) break;  // sorted: feasible prefix
+      if (floor_per_layer &&
+          cand.retained_ratio + 1e-12 < q.min_retained_ratio) {
+        continue;
+      }
+      eligible.push_back(c);
     }
-    const int top_k =
-        std::min(std::max(1, opts_.planner.autotune_top_k), feasible);
+    const std::size_t top_k = std::min(
+        static_cast<std::size_t>(std::max(1, opts_.planner.autotune_top_k)),
+        eligible.size());
     if (top_k < 2) continue;  // nothing to re-rank; autotuned stays false
-    int best = -1;
-    for (int c = 0; c < top_k; ++c) {
-      FormatCandidate& cand = lp.candidates[static_cast<std::size_t>(c)];
-      cand.measured_s = TimeLayerOnce(lp.layer, cand.format);
-      if (best < 0 || cand.measured_s <
-                          lp.candidates[static_cast<std::size_t>(best)]
-                              .measured_s) {
+    std::size_t best = eligible.size();
+    for (std::size_t c = 0; c < top_k; ++c) {
+      FormatCandidate& cand = lp.candidates[eligible[c]];
+      cand.measured_s = TimeLayerOnce(lp.layer, cand);
+      if (best == eligible.size() ||
+          cand.measured_s < lp.candidates[eligible[best]].measured_s) {
         best = c;
       }
     }
-    const FormatCandidate& winner =
-        lp.candidates[static_cast<std::size_t>(best)];
+    const FormatCandidate& winner = lp.candidates[eligible[best]];
     // Report a layer as autotuned only when the winner was genuinely
     // measured: a 0-second sample means the clock could not resolve the
     // launch, and re-ranking on it would present unmeasured candidates
@@ -322,7 +349,10 @@ void Engine::Autotune() {
     // empirical winners in the plan summary.
     if (winner.measured_s <= 0.0) continue;
     lp.format = winner.format;
+    lp.density = winner.density;
+    lp.v = winner.v;
     lp.modeled_s = winner.modeled_s;
+    lp.retained_ratio = winner.retained_ratio;
     lp.autotuned = true;
   }
 }

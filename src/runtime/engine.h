@@ -136,8 +136,11 @@ class Engine {
   /// Synthesized master weight of layer i (created once, then cached).
   const Matrix<float>& MasterWeight(int layer);
 
-  /// Packs (or fetches) layer i's weight in `format`.
-  const PackedWeight& Packed(int layer, Format format);
+  /// Packs (or fetches) layer i's weight in `format` at (density, v) —
+  /// per-layer values from the plan, not the global planner knobs, so a
+  /// quality-aware plan can mix densities across layers while the
+  /// cache key (layer, format, density, v) keeps entries distinct.
+  const PackedWeight& Packed(int layer, Format format, double density, int v);
 
   /// Executes one GEMM layer on the packed weight.
   KernelResult ExecuteGemm(const PackedWeight& w, const Matrix<float>& act);
@@ -155,11 +158,15 @@ class Engine {
   const Tensor4& FusedConvInput(const ConvShape& shape, int width);
 
   /// Re-ranks each layer's top candidates by measured time (packs them
-  /// through the cache, so the work is reused by Run).
+  /// through the cache, so the work is reused by Run). With per-layer
+  /// quality floors enabled, only candidates meeting the floor are
+  /// eligible — empirical re-ranking must not undo the quality
+  /// constraint the plan was built around.
   void Autotune();
 
-  /// Times one invocation of layer i under `format`; used by Autotune.
-  double TimeLayerOnce(int layer, Format format);
+  /// Times one invocation of layer i under the candidate's
+  /// (format, density, v); used by Autotune.
+  double TimeLayerOnce(int layer, const FormatCandidate& cand);
 
   ModelDesc model_;
   EngineOptions opts_;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "kernels/conv2d.h"
 #include "kernels/kernel_registry.h"
+#include "quality/quality_planner.h"
 
 namespace shflbw {
 namespace runtime {
@@ -41,6 +42,45 @@ std::optional<double> ModeledConvSeconds(const ConvLayerSpec& l,
 }
 
 }  // namespace
+
+void ValidatePlannerOptions(const PlannerOptions& opts) {
+  SHFLBW_CHECK_MSG(opts.density > 0.0 && opts.density <= 1.0,
+                   "PlannerOptions.density must be in (0, 1] — a kept "
+                   "density, not a sparsity — got "
+                       << opts.density);
+  SHFLBW_CHECK_MSG(opts.v >= 1,
+                   "PlannerOptions.v (vector/block granularity) must be "
+                   ">= 1, got "
+                       << opts.v);
+  SHFLBW_CHECK_MSG(opts.autotune_top_k >= 1,
+                   "PlannerOptions.autotune_top_k must be >= 1 (the number "
+                   "of top candidates to time), got "
+                       << opts.autotune_top_k);
+  const QualityOptions& q = opts.quality;
+  if (!q.enabled) return;
+  SHFLBW_CHECK_MSG(!opts.force_format,
+                   "PlannerOptions.force_format pins every layer, which "
+                   "leaves the quality-aware search nothing to decide; "
+                   "disable quality.enabled for pinned baselines");
+  SHFLBW_CHECK_MSG(q.min_retained_ratio >= 0.0 && q.min_retained_ratio <= 1.0,
+                   "QualityOptions.min_retained_ratio must be in [0, 1] "
+                   "(a retained-score ratio), got "
+                       << q.min_retained_ratio);
+  SHFLBW_CHECK_MSG(!q.density_ladder.empty(),
+                   "QualityOptions.density_ladder must name at least one "
+                   "kept density to search");
+  for (double d : q.density_ladder) {
+    SHFLBW_CHECK_MSG(d > 0.0 && d <= 1.0,
+                     "QualityOptions.density_ladder entries must be in "
+                     "(0, 1], got "
+                         << d);
+  }
+  for (int v : q.v_ladder) {
+    SHFLBW_CHECK_MSG(v >= 1,
+                     "QualityOptions.v_ladder entries must be >= 1, got "
+                         << v);
+  }
+}
 
 std::optional<double> ModeledLayerSeconds(const LayerDesc& l, Format format,
                                           const PlannerOptions& opts,
@@ -98,6 +138,9 @@ LayerPlan PlanLayer(const LayerDesc& l, int index,
   for (Format f : AllFormats()) {
     FormatCandidate c;
     c.format = f;
+    c.density = f == Format::kDense ? 1.0 : opts.density;
+    c.v = opts.v;
+    if (f == Format::kDense) c.retained_ratio = 1.0;
     const bool excluded =
         std::find(opts.exclude.begin(), opts.exclude.end(), f) !=
         opts.exclude.end();
@@ -125,14 +168,16 @@ LayerPlan PlanLayer(const LayerDesc& l, int index,
   SHFLBW_CHECK_MSG(!plan.candidates.empty() && plan.candidates[0].feasible,
                    "no feasible format for layer " << plan.name);
   plan.format = plan.candidates[0].format;
+  plan.density = plan.candidates[0].density;
+  plan.v = plan.candidates[0].v;
   plan.modeled_s = plan.candidates[0].modeled_s;
+  plan.retained_ratio = plan.candidates[0].retained_ratio;
   return plan;
 }
 
 ExecutionPlan PlanModel(const ModelDesc& model, const PlannerOptions& opts) {
-  SHFLBW_CHECK_MSG(opts.density > 0.0 && opts.density <= 1.0,
-                   "density " << opts.density);
-  SHFLBW_CHECK_MSG(opts.v > 0, "v " << opts.v);
+  ValidatePlannerOptions(opts);
+  if (opts.quality.enabled) return quality::PlanModelQualityAware(model, opts);
   ExecutionPlan plan;
   plan.model = model.name;
   plan.gpu = GetGpuSpec(opts.arch).name;
@@ -154,6 +199,27 @@ double ExecutionPlan::ModeledDenseSeconds() const {
   double total = 0.0;
   for (const LayerPlan& l : layers) total += l.modeled_dense_s * l.repeat;
   return total;
+}
+
+double ExecutionPlan::AggregateRetainedRatio() const {
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const LayerPlan& l : layers) {
+    if (l.retained_ratio < 0.0 || l.total_score <= 0.0) return -1.0;
+    const double w = l.total_score * l.repeat;
+    weighted += w * l.retained_ratio;
+    weight += w;
+  }
+  return weight > 0.0 ? weighted / weight : -1.0;
+}
+
+double ExecutionPlan::MinRetainedRatio() const {
+  double min = 2.0;
+  for (const LayerPlan& l : layers) {
+    if (l.retained_ratio < 0.0) return -1.0;
+    min = std::min(min, l.retained_ratio);
+  }
+  return layers.empty() ? -1.0 : min;
 }
 
 }  // namespace runtime

@@ -1,9 +1,13 @@
 // The packing phase of the runtime: converts a layer's master weight
 // into the selected format exactly once and keeps the packed bytes
-// keyed by (layer, format), so repeated Run calls — and the autotune
-// pass, which packs several candidates per layer — never re-convert.
-// This is the offline processing of Fig. 4 step (a) hoisted out of the
-// execution path.
+// keyed by (layer, format, density, v), so repeated Run calls — and
+// the autotune pass, which packs several candidates per layer — never
+// re-convert. This is the offline processing of Fig. 4 step (a)
+// hoisted out of the execution path. Because the prune parameters are
+// part of the key, quality-aware plans with PER-LAYER densities (each
+// LayerPlan carries its own density/v) pack into the same cache as
+// global-density plans with no collisions: layer 3 at 12.5% Shfl-BW
+// and layer 3 at 25% Shfl-BW are distinct entries.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,109 @@
+// Golden-value coverage of RetainedScoreRatio across ALL prune
+// families at fixed densities on synthesized weights — the numbers the
+// quality-aware planner (src/quality/) ranks candidates by. The golden
+// values pin the proxy itself: a change to any pruner, the synthesizer,
+// or the ratio computation that shifts quality silently would surface
+// here before it silently re-shapes every quality-constrained plan.
+// The ordering assertions are the Table 1 reproduction: flexible
+// patterns retain the most importance (unstructured > 2:4 > Shfl-BW >=
+// vector-wise > block-wise), and the gap widens with sparsity.
+#include <gtest/gtest.h>
+
+#include "model/weight_synth.h"
+#include "prune/balanced24_prune.h"
+#include "prune/block_wise.h"
+#include "prune/importance.h"
+#include "prune/shfl_bw_search.h"
+#include "prune/unstructured.h"
+#include "prune/vector_wise_prune.h"
+
+namespace shflbw {
+namespace {
+
+constexpr int kM = 128;
+constexpr int kK = 128;
+constexpr int kV = 32;
+
+Matrix<float> GoldenScores() {
+  SynthWeightOptions opt;
+  opt.seed = 20260727;
+  return MagnitudeScores(SynthesizeWeights(kM, kK, opt));
+}
+
+struct GoldenRatios {
+  double density;
+  double unstructured;
+  double shflbw;
+  double vw;
+  double bsr;
+};
+
+// Reference values computed from the committed implementations; the
+// tolerance allows only round-off-level drift, not behavioral change.
+const GoldenRatios kGolden[] = {
+    {0.5, 0.911191540144, 0.644298338709, 0.644298338709, 0.530848715030},
+    {0.25, 0.737729294129, 0.520051421449, 0.376594099986, 0.278705158287},
+    {0.125, 0.545828132482, 0.303071259155, 0.213347558331, 0.142221773658},
+};
+constexpr double kBalanced24Golden = 0.834074614209;  // density fixed at 0.5
+constexpr double kTol = 1e-9;
+
+TEST(RetainedRatioGolden, AllFamiliesMatchGoldenValues) {
+  const Matrix<float> s = GoldenScores();
+  for (const GoldenRatios& g : kGolden) {
+    EXPECT_NEAR(RetainedScoreRatio(s, UnstructuredMask(s, g.density)),
+                g.unstructured, kTol)
+        << "unstructured at " << g.density;
+    EXPECT_NEAR(RetainedScoreRatio(s, ShflBwSearch(s, g.density, kV).mask),
+                g.shflbw, kTol)
+        << "shfl-bw at " << g.density;
+    EXPECT_NEAR(RetainedScoreRatio(s, VectorWiseMask(s, g.density, kV)),
+                g.vw, kTol)
+        << "vector-wise at " << g.density;
+    EXPECT_NEAR(RetainedScoreRatio(s, BlockWiseMask(s, g.density, kV)),
+                g.bsr, kTol)
+        << "block-wise at " << g.density;
+  }
+}
+
+TEST(RetainedRatioGolden, Balanced24MatchesGoldenValue) {
+  const Matrix<float> s = GoldenScores();
+  EXPECT_NEAR(RetainedScoreRatio(s, Balanced24Mask(s)), kBalanced24Golden,
+              kTol);
+}
+
+// Table 1's quality ranking at every fixed density: flexibility order
+// is unstructured >= Shfl-BW >= vector-wise >= block-wise, strictly
+// separated once sparsity bites (density <= 0.25).
+TEST(RetainedRatioGolden, Table1OrderingHoldsAtEveryDensity) {
+  const Matrix<float> s = GoldenScores();
+  for (const GoldenRatios& g : kGolden) {
+    const double unstructured =
+        RetainedScoreRatio(s, UnstructuredMask(s, g.density));
+    const double shflbw =
+        RetainedScoreRatio(s, ShflBwSearch(s, g.density, kV).mask);
+    const double vw = RetainedScoreRatio(s, VectorWiseMask(s, g.density, kV));
+    const double bsr = RetainedScoreRatio(s, BlockWiseMask(s, g.density, kV));
+    EXPECT_GE(unstructured, shflbw) << g.density;
+    EXPECT_GE(shflbw, vw) << g.density;
+    EXPECT_GE(vw, bsr) << g.density;
+    if (g.density <= 0.25) {
+      EXPECT_GT(shflbw, vw) << g.density;
+      EXPECT_GT(vw, bsr) << g.density;
+    }
+  }
+}
+
+// 2:4 sits between unstructured and the vector family at its fixed 0.5
+// density — the A100 pattern trades little quality for its speed.
+TEST(RetainedRatioGolden, Balanced24BetweenUnstructuredAndVectorWise) {
+  const Matrix<float> s = GoldenScores();
+  const double unstructured = RetainedScoreRatio(s, UnstructuredMask(s, 0.5));
+  const double b24 = RetainedScoreRatio(s, Balanced24Mask(s));
+  const double vw = RetainedScoreRatio(s, VectorWiseMask(s, 0.5, kV));
+  EXPECT_GT(unstructured, b24);
+  EXPECT_GT(b24, vw);
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -152,6 +152,59 @@ TEST(Planner, ConvLayersOnlyOfferConvCapableFormats) {
   }
 }
 
+// Regression coverage for option validation: every reject must throw a
+// descriptive shflbw::Error naming the offending knob instead of
+// silently misbehaving (e.g. density 0 used to reach the pruners).
+TEST(Planner, RejectsInvalidOptionsWithDescriptiveErrors) {
+  const ModelDesc model = ModelDesc::Transformer(SmallTransformer());
+  const auto expect_reject = [&](PlannerOptions opts,
+                                 const std::string& needle) {
+    try {
+      PlanModel(model, opts);
+      FAIL() << "expected reject mentioning '" << needle << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  {
+    PlannerOptions opts;
+    opts.density = 0.0;
+    expect_reject(opts, "density");
+  }
+  {
+    PlannerOptions opts;
+    opts.density = 1.5;
+    expect_reject(opts, "density");
+  }
+  {
+    PlannerOptions opts;
+    opts.density = -0.25;
+    expect_reject(opts, "density");
+  }
+  {
+    PlannerOptions opts;
+    opts.v = 0;
+    expect_reject(opts, "v");
+  }
+  {
+    PlannerOptions opts;
+    opts.v = -8;
+    expect_reject(opts, "v");
+  }
+  {
+    PlannerOptions opts;
+    opts.autotune_top_k = 0;
+    expect_reject(opts, "autotune_top_k");
+  }
+  // Boundary values stay accepted: density 1.0 (dense), v 1, top_k 1.
+  PlannerOptions ok;
+  ok.density = 1.0;
+  ok.v = 1;
+  ok.autotune_top_k = 1;
+  EXPECT_NO_THROW(PlanModel(model, ok));
+}
+
 TEST(Format, NamesRoundTrip) {
   for (Format f : AllFormats()) {
     EXPECT_EQ(ParseFormat(FormatName(f)), f);
