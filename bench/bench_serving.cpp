@@ -12,6 +12,18 @@
 // seed — neither concurrency nor fusion may change a single bit of any
 // answer.
 //
+// An overload section then drives the same server shape open-loop
+// (Poisson arrivals with a burst phase at a multiple of measured
+// capacity, every request deadline-bearing) twice: once with a
+// single-level quality plan (no degradation possible) and once with a
+// degradation ladder, on the identical seeded arrival schedule. It
+// reports shed/late/miss fractions and the degradation engagement
+// curve, and gates — in --smoke too — that the controller actually
+// engaged the ladder, that the ladder run's miss fraction is strictly
+// lower than the no-degradation baseline, that every served response's
+// retained_ratio honours its level's floor, and that spot-checked
+// outputs are bit-identical to a single-engine run at that level.
+//
 // Flags: --smoke (tiny config, few requests — CI harness check)
 //        --out=FILE (default BENCH_serving.json)
 //        --requests=N (default 32 per configuration)
@@ -22,21 +34,27 @@
 // Exit status: non-zero if any output mismatches the serial reference;
 // if, outside --smoke on a >=2-core box, the best multi-replica
 // throughput fails to strictly beat the best single-replica throughput;
-// or if, outside --smoke on a >=2-core box, fused serving (max_batch
+// if, outside --smoke on a >=2-core box, fused serving (max_batch
 // >= 8) at in-flight batch >= 8 fails to at least match the best
-// unfused (max_batch = 1) throughput.
+// unfused (max_batch = 1) throughput; or if any overload gate above
+// fails (overload gates run in --smoke as well).
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
+#include "quality/quality_planner.h"
 #include "runtime/server.h"
 
 namespace shflbw {
@@ -118,11 +136,270 @@ struct FusionSummary {
   int fused_width = 0;     // max_batch of the best fused config
 };
 
+/// One open-loop overload run (fixed seeded arrival schedule).
+struct OverloadResult {
+  int arrivals = 0;
+  int completed = 0;       // served with an output
+  int shed = 0;            // admitted, deadline-expired at seal
+  int rejected = 0;        // TrySubmit refused (queue full)
+  int late = 0;            // served, but after the deadline
+  double miss_fraction = 0;  // (shed + rejected + late) / arrivals
+  int max_level = 0;       // deepest ladder level any response ran at
+  std::uint64_t downshifts = 0;
+  std::uint64_t upshifts = 0;
+  std::vector<std::uint64_t> per_level;
+  /// plan_level per arrival in submission order; -1 = rejected at
+  /// admission, -2 = shed. The degradation engagement curve.
+  std::vector<int> curve;
+  bool quality_honored = true;  // every retained_ratio >= its level floor
+  bool bit_identical = true;    // spot checks vs per-level serial engines
+};
+
+/// Mean per-request service seconds of a packed single engine — the
+/// yardstick the overload arrival rates and deadlines are scaled by, so
+/// the scenario stresses the server equally on fast and slow hosts.
+double CalibrateServiceSeconds(const ModelDesc& model,
+                               const EngineOptions& engine_opts) {
+  Engine engine(model, engine_opts);
+  (void)engine.Run();  // pack phase
+  const int kRuns = 5;
+  const double t0 = NowSeconds();
+  for (int i = 0; i < kRuns; ++i) (void)engine.Run(SeedOf(i));
+  return std::max(1e-6, (NowSeconds() - t0) / kRuns);
+}
+
+/// Measured closed-loop throughput (rps) of the overload server config
+/// at its baseline ladder level — the capacity yardstick the burst
+/// rates are scaled off. The naive replicas/svc estimate badly
+/// overstates real capacity when service times are sub-millisecond
+/// (per-request scheduling overhead dominates) or when the host has
+/// fewer cores than replicas, and a burst scaled off a 2-5x
+/// overestimate drowns baseline and ladder alike, erasing the margin
+/// the degradation gate measures.
+double CalibrateCapacityRps(const ModelDesc& model, const ServerOptions& base) {
+  ServerOptions opts = base;
+  opts.degradation.ladder_floors = {0.95};
+  BatchServer server(model, opts);
+  server.Warmup();
+  constexpr int kRequests = 64;
+  constexpr int kRounds = 2;
+  // A closed-loop round can only under-measure capacity (interference
+  // slows it, nothing speeds it up), so the max over rounds is the
+  // robust estimate.
+  double best = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<Response>> futures;
+    futures.reserve(kRequests);
+    const double t0 = NowSeconds();
+    for (int i = 0; i < kRequests; ++i) {
+      Request req;
+      req.activation_seed = SeedOf(i);
+      futures.push_back(server.Submit(req));  // blocking: closed loop
+    }
+    for (auto& f : futures) (void)f.get();
+    const double wall = std::max(1e-9, NowSeconds() - t0);
+    best = std::max(best, kRequests / wall);
+  }
+  return best;
+}
+
+/// Seeded Poisson arrival offsets: `pre` arrivals at pre_rate, `burst`
+/// at burst_rate, `post` back at pre_rate (seconds from t0).
+std::vector<double> ArrivalSchedule(int pre, int burst, int post,
+                                    double pre_rate, double burst_rate) {
+  Rng rng(0xa331ULL);
+  std::vector<double> offsets;
+  offsets.reserve(static_cast<std::size_t>(pre + burst + post));
+  double t = 0;
+  const auto emit = [&](int n, double rate) {
+    for (int i = 0; i < n; ++i) {
+      t += -std::log(1.0 - rng.Uniform()) / rate;
+      offsets.push_back(t);
+    }
+  };
+  emit(pre, pre_rate);
+  emit(burst, burst_rate);
+  emit(post, pre_rate);
+  return offsets;
+}
+
+/// Drives one open-loop overload run: submits the arrival schedule with
+/// TrySubmit (an open-loop client does not block — a full queue is a
+/// rejection), every request carrying `deadline`, then audits the
+/// responses against the ladder's floors and per-level reference
+/// engines. `floors` with one entry = the no-degradation baseline.
+OverloadResult ServeOverload(const ModelDesc& model, const ServerOptions& base,
+                             const std::vector<double>& floors,
+                             const std::vector<double>& arrivals,
+                             double deadline_seconds) {
+  ServerOptions opts = base;
+  opts.degradation.ladder_floors = floors;
+  opts.degradation.degrade_queue_fraction = 0.5;
+  opts.degradation.upgrade_queue_fraction = 0.125;
+  opts.degradation.hysteresis_seals = 2;
+  // Shedding and degradation do the overload work here; up-front
+  // infeasibility rejection would empty the burst before the ladder
+  // ever sees pressure.
+  opts.admission.reject_infeasible_deadlines = false;
+
+  OverloadResult r;
+  r.arrivals = static_cast<int>(arrivals.size());
+  r.curve.assign(arrivals.size(), -1);
+
+  std::vector<std::future<Response>> futures(arrivals.size());
+  std::vector<char> accepted(arrivals.size(), 0);
+  {
+    BatchServer server(model, opts);
+    server.Warmup();
+
+    const double t0 = NowSeconds();
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      const double target = t0 + arrivals[i];
+      const double now = NowSeconds();
+      if (target > now) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(target - now));
+      }
+      Request req;
+      req.activation_seed = SeedOf(static_cast<int>(i));
+      req.deadline_seconds = deadline_seconds;
+      accepted[i] =
+          server.TrySubmit(req, &futures[i]) == SubmitStatus::kAccepted ? 1
+                                                                        : 0;
+    }
+    server.Drain();
+
+    const ServerStats stats = server.Stats();
+    r.downshifts = stats.downshifts;
+    r.upshifts = stats.upshifts;
+    r.per_level = stats.per_level;
+
+    // Per-level serial reference engines for bit-identity spot checks
+    // (a handful per level — full coverage is the sweep's job above).
+    std::vector<std::unique_ptr<Engine>> refs;
+    for (const PlannerOptions& po :
+         quality::LadderPlannerOptions(base.engine.planner, floors)) {
+      EngineOptions eo = base.engine;
+      eo.planner = po;
+      refs.push_back(std::make_unique<Engine>(model, eo));
+    }
+    std::vector<int> checked_per_level(floors.size(), 0);
+    constexpr int kChecksPerLevel = 2;
+
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      if (!accepted[i]) {
+        ++r.rejected;
+        continue;
+      }
+      Response resp = futures[i].get();
+      if (resp.status == ResponseStatus::kDeadlineExceeded) {
+        ++r.shed;
+        r.curve[i] = -2;
+        continue;
+      }
+      ++r.completed;
+      r.curve[i] = resp.plan_level;
+      r.max_level = std::max(r.max_level, resp.plan_level);
+      if (resp.queue_seconds + resp.run_seconds > deadline_seconds) ++r.late;
+      if (resp.retained_ratio + 1e-12 <
+          floors[static_cast<std::size_t>(resp.plan_level)]) {
+        r.quality_honored = false;
+      }
+      int& checks = checked_per_level[static_cast<std::size_t>(resp.plan_level)];
+      if (checks < kChecksPerLevel) {
+        ++checks;
+        const auto& ref = refs[static_cast<std::size_t>(resp.plan_level)];
+        if (resp.output != ref->Run(SeedOf(static_cast<int>(i))).output) {
+          r.bit_identical = false;
+        }
+      }
+    }
+  }
+  r.miss_fraction =
+      r.arrivals > 0
+          ? static_cast<double>(r.shed + r.rejected + r.late) / r.arrivals
+          : 0.0;
+  return r;
+}
+
+/// Folds trial `t` into the aggregate `agg`: counters add, flags AND,
+/// the engagement curve keeps the latest trial (one representative
+/// trace is enough for the JSON). Miss fraction is recomputed over the
+/// summed counts, which is what the exit-code gate compares — single
+/// short bursts at sub-millisecond service times are too noisy to gate
+/// on individually.
+void Accumulate(OverloadResult& agg, const OverloadResult& t) {
+  agg.arrivals += t.arrivals;
+  agg.completed += t.completed;
+  agg.shed += t.shed;
+  agg.rejected += t.rejected;
+  agg.late += t.late;
+  agg.downshifts += t.downshifts;
+  agg.upshifts += t.upshifts;
+  agg.max_level = std::max(agg.max_level, t.max_level);
+  if (agg.per_level.size() < t.per_level.size()) {
+    agg.per_level.resize(t.per_level.size(), 0);
+  }
+  for (std::size_t i = 0; i < t.per_level.size(); ++i) {
+    agg.per_level[i] += t.per_level[i];
+  }
+  agg.curve = t.curve;
+  agg.quality_honored = agg.quality_honored && t.quality_honored;
+  agg.bit_identical = agg.bit_identical && t.bit_identical;
+  agg.miss_fraction =
+      agg.arrivals > 0
+          ? static_cast<double>(agg.shed + agg.rejected + agg.late) /
+                agg.arrivals
+          : 0.0;
+}
+
+void PrintOverload(const char* name, const OverloadResult& r) {
+  std::printf("  %-9s %4d arrivals: %4d ok, %3d shed, %3d rejected, %3d "
+              "late -> miss %.3f; max level %d (%llu down / %llu up)%s%s\n",
+              name, r.arrivals, r.completed, r.shed, r.rejected, r.late,
+              r.miss_fraction, r.max_level,
+              static_cast<unsigned long long>(r.downshifts),
+              static_cast<unsigned long long>(r.upshifts),
+              r.quality_honored ? "" : "  FLOOR VIOLATED",
+              r.bit_identical ? "" : "  OUTPUT MISMATCH");
+}
+
+void WriteOverloadJson(std::FILE* f, const char* name,
+                       const OverloadResult& r, bool trailing_comma) {
+  std::fprintf(f,
+               "    \"%s\": {\"arrivals\": %d, \"completed\": %d, "
+               "\"shed\": %d, \"rejected\": %d, \"late\": %d, "
+               "\"miss_fraction\": %.4f, \"max_level\": %d, "
+               "\"downshifts\": %llu, \"upshifts\": %llu, "
+               "\"quality_honored\": %s, \"bit_identical\": %s,\n",
+               name, r.arrivals, r.completed, r.shed, r.rejected, r.late,
+               r.miss_fraction, r.max_level,
+               static_cast<unsigned long long>(r.downshifts),
+               static_cast<unsigned long long>(r.upshifts),
+               r.quality_honored ? "true" : "false",
+               r.bit_identical ? "true" : "false");
+  std::fprintf(f, "      \"per_level\": [");
+  for (std::size_t i = 0; i < r.per_level.size(); ++i) {
+    std::fprintf(f, "%s%llu", i ? ", " : "",
+                 static_cast<unsigned long long>(r.per_level[i]));
+  }
+  // The engagement curve: plan level per arrival in submission order
+  // (-1 rejected at admission, -2 shed at seal) — how far and how long
+  // the controller walked down the ladder through the burst.
+  std::fprintf(f, "],\n      \"engagement_curve\": [");
+  for (std::size_t i = 0; i < r.curve.size(); ++i) {
+    std::fprintf(f, "%s%d", i ? ", " : "", r.curve[i]);
+  }
+  std::fprintf(f, "]}%s\n", trailing_comma ? "," : "");
+}
+
 bool WriteJson(const std::string& path, const ModelDesc& model,
                const std::string& config, const ServerOptions& base,
                int requests, const std::vector<ConfigResult>& results,
                double single_rps, double multi_rps, int multi_replicas,
-               const FusionSummary& fusion, bool all_identical) {
+               const FusionSummary& fusion, double svc_seconds,
+               double deadline_seconds, const OverloadResult& baseline,
+               const OverloadResult& degraded, bool all_identical) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -181,6 +458,16 @@ bool WriteJson(const std::string& path, const ModelDesc& model,
                single_rps, multi_rps, multi_replicas,
                single_rps > 0 ? multi_rps / single_rps : 0.0, cores,
                cores >= 2 ? "true" : "false");
+  // Open-loop overload: identical seeded arrival schedule served with
+  // and without a degradation ladder; the miss-fraction delta is the
+  // graceful-degradation claim, gated by exit code (--smoke included).
+  std::fprintf(f, "  \"overload\": {\n");
+  std::fprintf(f,
+               "    \"service_ms\": %.4f, \"deadline_ms\": %.4f,\n",
+               svc_seconds * 1e3, deadline_seconds * 1e3);
+  WriteOverloadJson(f, "baseline", baseline, /*trailing_comma=*/true);
+  WriteOverloadJson(f, "ladder", degraded, /*trailing_comma=*/false);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"bit_identical\": %s\n}\n",
                all_identical ? "true" : "false");
   std::fclose(f);
@@ -313,9 +600,69 @@ int Main(int argc, char** argv) {
               fusion.unfused_rps > 0 ? fusion.fused_rps / fusion.unfused_rps
                                      : 0.0);
 
+  // ---- Overload: burst arrivals, deadlines, graceful degradation ----
+  // Rates and deadlines scale off the measured per-request service
+  // time, so the burst overcommits the server by the same factor on any
+  // host. The baseline run uses a single-level ladder (the controller
+  // cannot move); the ladder run may degrade down to floor 0.70. Both
+  // serve the identical seeded arrival schedule.
+  ServerOptions over = base;
+  over.replicas = 2;
+  over.max_batch = 4;
+  over.queue_capacity = 16;
+  // The overload section always runs the full-size model (the smoke
+  // sweep model's ~0.1 ms kernels are smaller than the per-request
+  // scheduling overhead, which dilutes the ladder's kernel-speed
+  // advantage into the noise floor and makes the gates flaky).
+  const ModelDesc over_model =
+      ModelDesc::Transformer(TransformerConfig{64, 256, 32, 1, 1});
+  const double svc = CalibrateServiceSeconds(over_model, base.engine);
+  const double capacity_rps = CalibrateCapacityRps(over_model, over);
+  // Effective per-request seconds at measured capacity; the deadline
+  // tolerates a half-full queue's worth of waiting (the same point the
+  // controller's degrade_queue_fraction 0.5 fires), so lateness and
+  // degradation pressure track the same signal.
+  const double eff = 1.0 / capacity_rps;
+  const double deadline =
+      0.5 * static_cast<double>(over.queue_capacity) * eff;
+  const int pre = smoke ? 15 : 30;
+  const int burst = smoke ? 100 : 150;
+  const int post = smoke ? 15 : 30;
+  // The burst rate targets the band between baseline capacity (1.0x)
+  // and the fully degraded ladder's capacity (~1.3x: floor 0.70
+  // compiles to all-CSR and runs ~25% faster than the dense level-0
+  // plan). In that band the ladder, once downshifted, holds its queue
+  // near steady state while the fixed-quality baseline's backlog grows
+  // for the whole burst — the structural margin the miss-fraction gate
+  // measures. Rates above the ladder's capacity drown both configs and
+  // the gate ends up comparing scheduler noise.
+  const double burst_rps = 1.4 * capacity_rps;
+  const std::vector<double> schedule =
+      ArrivalSchedule(pre, burst, post, 0.5 * capacity_rps, burst_rps);
+  // Interleaved trials, aggregated for the gate: a single short burst
+  // at sub-millisecond service times is dominated by scheduler noise;
+  // the summed counts over alternating baseline/ladder runs are not.
+  constexpr int kTrials = 3;
+  std::printf("\n  overload: svc %.3f ms, capacity %.0f rps, deadline "
+              "%.3f ms, burst %.0f rps (1.4x capacity) for %d of %d "
+              "arrivals, %d trial(s)/config\n",
+              svc * 1e3, capacity_rps, deadline * 1e3, burst_rps, burst,
+              static_cast<int>(schedule.size()), kTrials);
+  OverloadResult over_base;
+  OverloadResult over_ladder;
+  for (int t = 0; t < kTrials; ++t) {
+    Accumulate(over_base,
+               ServeOverload(over_model, over, {0.95}, schedule, deadline));
+    Accumulate(over_ladder, ServeOverload(over_model, over, {0.95, 0.85, 0.70},
+                                          schedule, deadline));
+  }
+  PrintOverload("baseline", over_base);
+  PrintOverload("ladder", over_ladder);
+
   const bool wrote = WriteJson(out, model, config, base, requests, results,
-                               single_rps, multi_rps, multi_replicas,
-                               fusion, all_identical);
+                               single_rps, multi_rps, multi_replicas, fusion,
+                               svc, deadline, over_base, over_ladder,
+                               all_identical);
   if (wrote) std::printf("\nwrote %s\n", out.c_str());
 
   bool ok = wrote;
@@ -340,6 +687,32 @@ int Main(int argc, char** argv) {
                  "regressed below unfused (%.2f rps) at batch >= %d\n",
                  fusion.fused_rps, fusion.fused_width, fusion.unfused_rps,
                  kFusedBatch);
+    ok = false;
+  }
+  // Overload gates — deliberately active in --smoke too (CI runs the
+  // smoke config on every PR): the scenario is scaled off measured
+  // service time, so it stresses equally on any host.
+  if (over_ladder.max_level < 1 || over_ladder.downshifts < 1) {
+    std::fprintf(stderr, "FAIL: the burst never engaged the degradation "
+                 "ladder (max level %d, %llu downshifts)\n",
+                 over_ladder.max_level,
+                 static_cast<unsigned long long>(over_ladder.downshifts));
+    ok = false;
+  }
+  if (over_ladder.miss_fraction >= over_base.miss_fraction) {
+    std::fprintf(stderr, "FAIL: degradation did not reduce the miss "
+                 "fraction (ladder %.3f vs baseline %.3f)\n",
+                 over_ladder.miss_fraction, over_base.miss_fraction);
+    ok = false;
+  }
+  if (!over_base.quality_honored || !over_ladder.quality_honored) {
+    std::fprintf(stderr, "FAIL: a served response's retained_ratio fell "
+                 "below its plan level's floor\n");
+    ok = false;
+  }
+  if (!over_base.bit_identical || !over_ladder.bit_identical) {
+    std::fprintf(stderr, "FAIL: a degraded output diverged from the serial "
+                 "single-engine run at its level\n");
     ok = false;
   }
   return ok ? 0 : 1;

@@ -5,11 +5,19 @@
 // verify every response is bit-identical to a serial single-engine
 // run — neither concurrency nor fusion changes an answer.
 //
+// A second part overloads a deliberately slow server (injected launch
+// delays stand in for a saturated host) with deadline-bearing
+// requests: TrySubmit returns typed rejections at the door, expired
+// requests are shed at seal time with kDeadlineExceeded, the
+// degradation controller walks down a quality ladder under queue
+// pressure, and a kCritical request rides through it all untouched.
+//
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/example_batch_serving
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -91,5 +99,91 @@ int main() {
   }
   std::printf("; packs during serving %zu (cache hit every layer)\n",
               server.cache().TotalPacks() - packed);
-  return mismatches == 0 ? 0 : 1;
+
+  // ---- Part 2: overload — deadlines, shedding, degradation ----
+  ServerOptions oopts;
+  oopts.replicas = 1;
+  oopts.engine.planner.density = 0.25;
+  oopts.engine.planner.v = 8;
+  oopts.max_batch = 2;
+  oopts.queue_capacity = 8;
+  // Three quality levels; the controller needs only one pressured seal
+  // to move (hysteresis 1 keeps the demo short).
+  oopts.degradation.ladder_floors = {0.95, 0.85, 0.70};
+  oopts.degradation.degrade_queue_fraction = 0.5;
+  oopts.degradation.hysteresis_seals = 1;
+  // Shedding at seal time is the mechanism on display; don't also
+  // reject at the door on estimated feasibility.
+  oopts.admission.reject_infeasible_deadlines = false;
+  // The fault injector doubles as a load generator: +2 ms per kernel
+  // launch, deterministically, makes this server slow enough that a
+  // burst of cheap requests genuinely overloads it.
+  FaultInjectorOptions slow;
+  slow.launch_delay_rate = 1.0;
+  slow.launch_delay_seconds = 0.002;
+  oopts.engine.fault_injector = std::make_shared<FaultInjector>(slow);
+
+  BatchServer overloaded(model, oopts);
+  overloaded.Warmup();
+  std::printf("\noverload demo: ladder");
+  for (int l = 0; l < overloaded.levels(); ++l) {
+    std::printf(" L%d(floor %.2f, retains %.3f)", l, overloaded.LevelFloor(l),
+                overloaded.LevelRetainedRatio(l));
+  }
+  std::printf("\n");
+
+  // An open-loop burst twice the queue depth: TrySubmit does not
+  // block, so once the queue fills the client sheds at the door and
+  // sees the typed reason.
+  constexpr int kBurst = 16;
+  const double kDeadline = 0.030;  // seconds; ~4 batches' worth of work
+  std::vector<std::future<Response>> burst;
+  int rejected = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Request req;
+    req.activation_seed = 0xd00dULL + static_cast<std::uint64_t>(i);
+    req.deadline_seconds = kDeadline;
+    std::future<Response> fut;
+    const SubmitStatus st = overloaded.TrySubmit(req, &fut);
+    if (st == SubmitStatus::kAccepted) {
+      burst.push_back(std::move(fut));
+    } else {
+      ++rejected;  // SubmitStatus::kRejectedQueueFull
+    }
+  }
+  // One paying customer with the same deadline but kCritical QoS: the
+  // scheduler never sheds it, no matter how late it runs. Blocking
+  // Submit waits for queue space instead of bouncing.
+  Request vip;
+  vip.activation_seed = 0x715ULL;
+  vip.deadline_seconds = kDeadline;
+  vip.qos = QoS::kCritical;
+  std::future<Response> vip_fut = overloaded.Submit(vip);
+
+  overloaded.Drain();
+  int ok = 0, shed = 0, degraded = 0;
+  for (auto& fut : burst) {
+    Response resp = fut.get();
+    if (resp.status == ResponseStatus::kDeadlineExceeded) {
+      ++shed;
+      continue;
+    }
+    ++ok;
+    if (resp.plan_level > 0) ++degraded;
+  }
+  const Response vip_resp = vip_fut.get();
+  const ServerStats os = overloaded.Stats();
+  std::printf("burst of %d + 1 critical: %d served (%d at degraded "
+              "quality), %d shed past deadline, %d bounced at the door\n",
+              kBurst, ok, degraded, shed, rejected);
+  std::printf("controller: %llu downshifts, %llu upshifts, finished at "
+              "level %d; critical request %s (level %d, retained %.3f)\n",
+              static_cast<unsigned long long>(os.downshifts),
+              static_cast<unsigned long long>(os.upshifts), os.level,
+              vip_resp.status == ResponseStatus::kOk ? "served" : "SHED",
+              vip_resp.plan_level, vip_resp.retained_ratio);
+
+  const bool books_balance = os.submitted == os.completed + os.shed;
+  const bool vip_served = vip_resp.status == ResponseStatus::kOk;
+  return (mismatches == 0 && books_balance && vip_served) ? 0 : 1;
 }

@@ -270,5 +270,30 @@ ExecutionPlan PlanModelQualityAware(const ModelDesc& model,
   return plan;
 }
 
+std::vector<runtime::PlannerOptions> LadderPlannerOptions(
+    const runtime::PlannerOptions& base, const std::vector<double>& floors) {
+  SHFLBW_CHECK_MSG(!floors.empty(), "quality ladder needs at least one floor");
+  for (std::size_t i = 0; i < floors.size(); ++i) {
+    SHFLBW_CHECK_MSG(floors[i] > 0 && floors[i] <= 1.0,
+                     "ladder floor " << floors[i] << " must be in (0, 1]");
+    SHFLBW_CHECK_MSG(i == 0 || floors[i] < floors[i - 1],
+                     "ladder floors must be strictly descending; got "
+                         << floors[i - 1] << " then " << floors[i]);
+  }
+  std::vector<runtime::PlannerOptions> ladder;
+  ladder.reserve(floors.size());
+  for (const double floor : floors) {
+    runtime::PlannerOptions level = base;
+    level.quality.enabled = true;
+    // Per-layer semantics on purpose: a served response can then be
+    // checked against its level's floor via MinRetainedRatio — an
+    // aggregate floor would make "this response retained >= X" unstateable.
+    level.quality.floor = runtime::QualityOptions::Floor::kPerLayer;
+    level.quality.min_retained_ratio = floor;
+    ladder.push_back(std::move(level));
+  }
+  return ladder;
+}
+
 }  // namespace quality
 }  // namespace shflbw

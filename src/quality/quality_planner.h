@@ -26,6 +26,8 @@
 // tests/quality/quality_test.cpp and bench_quality's exit code.
 #pragma once
 
+#include <vector>
+
 #include "runtime/model_desc.h"
 #include "runtime/planner.h"
 
@@ -39,6 +41,17 @@ namespace quality {
 /// at its own plan values.
 runtime::ExecutionPlan PlanModelQualityAware(const runtime::ModelDesc& model,
                                              const runtime::PlannerOptions& opts);
+
+/// Expands `base` into one PlannerOptions per ladder floor: each entry
+/// is quality-enabled at that floor with per-layer semantics (the floor
+/// a served response's min retained ratio can be checked against),
+/// inheriting base's density/V ladders and every other knob. `floors`
+/// must be non-empty, strictly descending, each in (0, 1] — level 0 is
+/// normal service, later levels are the progressively sparser/faster
+/// plans an overloaded server degrades onto (BatchServer's quality
+/// ladder). Throws shflbw::Error on an invalid ladder.
+std::vector<runtime::PlannerOptions> LadderPlannerOptions(
+    const runtime::PlannerOptions& base, const std::vector<double>& floors);
 
 }  // namespace quality
 }  // namespace shflbw

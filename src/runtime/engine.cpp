@@ -29,6 +29,9 @@ Engine::Engine(ModelDesc model, EngineOptions opts,
       masters_(model_.layers.size()) {
   SHFLBW_CHECK_MSG(!model_.layers.empty(), "model has no layers");
   SHFLBW_CHECK_MSG(cache_ != nullptr, "engine needs a weight cache");
+  // Pack-site fault injection rides the cache; engines sharing a cache
+  // pass the same injector, so repeated installs are idempotent.
+  if (opts_.fault_injector) cache_->SetFaultInjector(opts_.fault_injector);
 }
 
 const ExecutionPlan& Engine::Plan() {
@@ -51,6 +54,16 @@ const ExecutionPlan& Engine::Plan() {
     Autotune();
   }
   return *plan_;
+}
+
+void Engine::AdoptPlan(ExecutionPlan plan) {
+  SHFLBW_CHECK_MSG(!plan_, "AdoptPlan called after the engine already has a "
+                           "plan");
+  SHFLBW_CHECK_MSG(plan.layers.size() == model_.layers.size(),
+                   "adopted plan has " << plan.layers.size()
+                                       << " layers, model has "
+                                       << model_.layers.size());
+  plan_ = std::move(plan);
 }
 
 const Matrix<float>& Engine::MasterWeight(int layer) {
@@ -188,6 +201,11 @@ BatchRunResult Engine::RunBatched(const std::vector<std::uint64_t>& seeds) {
   for (std::size_t i = 0; i < model_.layers.size(); ++i) {
     const LayerDesc& l = model_.layers[i];
     const LayerPlan& lp = plan.layers[i];
+    // Fault hook: one consultation per layer launch (may delay or throw
+    // TransientFault — the scheduler's retry path re-enters RunBatched,
+    // which rebuilds all streaming state, so a mid-model abort leaves
+    // nothing to corrupt).
+    if (opts_.fault_injector) opts_.fault_injector->OnKernelLaunch();
     const PackedWeight& w =
         Packed(static_cast<int>(i), lp.format, lp.density, lp.v);
 

@@ -25,6 +25,7 @@
 
 #include "arch/gpu_spec.h"
 #include "kernels/conv2d.h"
+#include "runtime/fault_injection.h"
 #include "runtime/model_desc.h"
 #include "runtime/planner.h"
 #include "runtime/weight_cache.h"
@@ -39,6 +40,13 @@ struct EngineOptions {
   std::uint64_t weight_seed = 0x5eedULL;
   /// Seed for the first layer's input activations.
   std::uint64_t activation_seed = 0xac71ULL;
+  /// Optional fault-injection hook (tests, chaos benches): consulted
+  /// once per kernel launch in RunBatched and, via the weight cache, on
+  /// every pack. The engine installs it on its cache at construction;
+  /// engines sharing a cache must share the injector (or leave it
+  /// null). Injection is seeded and deterministic — see
+  /// runtime/fault_injection.h.
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 /// Measured execution of one layer (one invocation).
@@ -99,6 +107,16 @@ class Engine {
   /// empirical autotune pass when options.planner.autotune is set) and
   /// returns the same plan thereafter.
   const ExecutionPlan& Plan();
+
+  /// Installs a precompiled plan instead of compiling one. Planning is
+  /// deterministic, so an engine identical in (model, options) to the
+  /// plan's producer would compile this exact plan anyway — adopting it
+  /// just skips the redundant work, which matters when the BatchServer
+  /// stands up replicas x ladder-levels engines whose quality-aware
+  /// plans each score every (layer, format, density, V) mask. Only
+  /// valid before the first Plan()/Run(), and the layer count must
+  /// match the model.
+  void AdoptPlan(ExecutionPlan plan);
 
   /// Executes the model end-to-end. The first Run packs any weight the
   /// plan selected that autotune has not already packed; later Runs hit

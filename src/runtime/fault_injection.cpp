@@ -1,0 +1,86 @@
+#include "runtime/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace shflbw {
+namespace runtime {
+namespace {
+
+// SplitMix64: the standard 64-bit finalizer — a bijective mix whose
+// output over consecutive inputs passes statistical tests, so hashing
+// (seed, site, ordinal) gives an independent uniform draw per call.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kSiteLaunchFail = 0x11;
+constexpr std::uint64_t kSiteLaunchDelay = 0x22;
+constexpr std::uint64_t kSitePackFail = 0x33;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultInjectorOptions opts) : opts_(opts) {
+  SHFLBW_CHECK_MSG(
+      opts_.launch_failure_rate >= 0 && opts_.launch_failure_rate <= 1,
+      "launch_failure_rate must be in [0, 1]");
+  SHFLBW_CHECK_MSG(
+      opts_.launch_delay_rate >= 0 && opts_.launch_delay_rate <= 1,
+      "launch_delay_rate must be in [0, 1]");
+  SHFLBW_CHECK_MSG(
+      opts_.pack_failure_rate >= 0 && opts_.pack_failure_rate <= 1,
+      "pack_failure_rate must be in [0, 1]");
+  SHFLBW_CHECK_MSG(opts_.launch_delay_seconds >= 0,
+                   "launch_delay_seconds must be >= 0");
+}
+
+bool FaultInjector::Fires(std::uint64_t site, std::uint64_t n,
+                          double rate) const {
+  if (rate <= 0) return false;
+  if (rate >= 1) return true;
+  const std::uint64_t h =
+      SplitMix64(opts_.seed ^ (site * 0xd1b54a32d192ed03ULL) ^ n);
+  // Top 53 bits to a uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+bool FaultInjector::TakeFailureBudget() {
+  std::uint64_t spent = failures_spent_.load();
+  while (spent < opts_.max_failures) {
+    if (failures_spent_.compare_exchange_weak(spent, spent + 1)) return true;
+  }
+  return false;
+}
+
+void FaultInjector::OnKernelLaunch() {
+  const std::uint64_t n = launches_.fetch_add(1);
+  if (Fires(kSiteLaunchDelay, n, opts_.launch_delay_rate) &&
+      opts_.launch_delay_seconds > 0) {
+    launch_delays_.fetch_add(1);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts_.launch_delay_seconds));
+  }
+  if (Fires(kSiteLaunchFail, n, opts_.launch_failure_rate) &&
+      TakeFailureBudget()) {
+    launch_failures_.fetch_add(1);
+    throw TransientFault("injected transient kernel-launch failure (ordinal " +
+                         std::to_string(n) + ")");
+  }
+}
+
+void FaultInjector::OnPack() {
+  const std::uint64_t n = packs_.fetch_add(1);
+  if (Fires(kSitePackFail, n, opts_.pack_failure_rate) &&
+      TakeFailureBudget()) {
+    pack_failures_.fetch_add(1);
+    throw TransientFault("injected transient weight-pack failure (ordinal " +
+                         std::to_string(n) + ")");
+  }
+}
+
+}  // namespace runtime
+}  // namespace shflbw

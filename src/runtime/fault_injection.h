@@ -1,0 +1,102 @@
+// Deterministic fault injection for the serving stack. Recovery paths
+// that are never executed are broken by default; this hook makes the
+// scheduler's retry/backoff machinery testable by letting tests and
+// benches inject transient kernel-launch failures, launch delays, and
+// weight-pack failures at seeded, reproducible points.
+//
+// Determinism model: every injection site draws its verdict as a pure
+// function of (seed, site kind, per-site call ordinal). The ordinal is
+// an atomic counter, so with concurrent replicas the *set* of failing
+// calls is fixed by the seed — which thread happens to hit ordinal n
+// varies, but the number of failures in any N calls does not, and a
+// single-threaded replay of the same N calls fails identically.
+//
+// `max_failures` caps the total injected failures, which is how tests
+// prove *bounded* recovery: after the budget is spent the injector goes
+// quiet and every retried request must complete — zero lost responses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace runtime {
+
+/// The exception injected for transient faults. The BatchServer's
+/// scheduler retries these (bounded, with backoff); anything else
+/// propagates to the request futures as a real error.
+class TransientFault : public Error {
+ public:
+  explicit TransientFault(const std::string& what) : Error(what) {}
+};
+
+struct FaultInjectorOptions {
+  std::uint64_t seed = 0xfa017ULL;
+  /// Probability a kernel launch throws TransientFault.
+  double launch_failure_rate = 0;
+  /// Probability a kernel launch is delayed by launch_delay_seconds
+  /// (drawn independently of the failure verdict).
+  double launch_delay_rate = 0;
+  double launch_delay_seconds = 0;
+  /// Probability a weight-cache pack throws TransientFault (before any
+  /// cache mutation, so a failed pack leaves the cache untouched).
+  double pack_failure_rate = 0;
+  /// Total failure budget across launch + pack sites; once spent, the
+  /// injector never fails again (delays continue). Defaults to
+  /// unlimited.
+  std::uint64_t max_failures = ~0ULL;
+};
+
+/// Thread-safe; share one instance across an engine/server and its
+/// weight cache via std::shared_ptr (EngineOptions::fault_injector).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions opts = {});
+
+  /// Called by Engine::RunBatched once per layer launch. May sleep
+  /// (injected delay) and may throw TransientFault.
+  void OnKernelLaunch();
+
+  /// Called by PackedWeightCache on a cache miss, before packing. May
+  /// throw TransientFault; the cache stays unmodified.
+  void OnPack();
+
+  std::uint64_t launches() const { return launches_.load(); }
+  std::uint64_t launch_failures() const { return launch_failures_.load(); }
+  std::uint64_t launch_delays() const { return launch_delays_.load(); }
+  std::uint64_t packs() const { return packs_.load(); }
+  std::uint64_t pack_failures() const { return pack_failures_.load(); }
+  std::uint64_t total_failures() const { return failures_spent_.load(); }
+
+  const FaultInjectorOptions& options() const { return opts_; }
+
+ private:
+  /// Pure verdict for call ordinal `n` at `site` against `rate`.
+  bool Fires(std::uint64_t site, std::uint64_t n, double rate) const;
+  /// Claims one unit of the failure budget; false once exhausted.
+  bool TakeFailureBudget();
+
+  FaultInjectorOptions opts_;
+  std::atomic<std::uint64_t> launches_{0};
+  std::atomic<std::uint64_t> packs_{0};
+  std::atomic<std::uint64_t> launch_failures_{0};
+  std::atomic<std::uint64_t> launch_delays_{0};
+  std::atomic<std::uint64_t> pack_failures_{0};
+  std::atomic<std::uint64_t> failures_spent_{0};
+};
+
+/// Scheduler retry policy for injected-transient failures (and any
+/// other TransientFault a backend might raise).
+struct RetryPolicy {
+  /// Retries after the first attempt; 0 = fail fast.
+  int max_retries = 3;
+  /// Sleep before retry k (0-based) is backoff_seconds *
+  /// backoff_multiplier^k.
+  double backoff_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+};
+
+}  // namespace runtime
+}  // namespace shflbw

@@ -2,37 +2,143 @@
 
 #include <algorithm>
 #include <chrono>
-#include <stdexcept>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "quality/quality_planner.h"
 
 namespace shflbw {
 namespace runtime {
 
+void ValidateServerOptions(const ServerOptions& opts) {
+  SHFLBW_CHECK_MSG(opts.replicas >= 1,
+                   "server needs at least one replica, got " << opts.replicas);
+  SHFLBW_CHECK_MSG(opts.queue_capacity >= 1,
+                   "queue capacity must be >= 1, got " << opts.queue_capacity);
+  SHFLBW_CHECK_MSG(opts.max_batch >= 1,
+                   "max_batch must be >= 1, got " << opts.max_batch);
+  SHFLBW_CHECK_MSG(opts.coalesce_window_seconds >= 0.0,
+                   "coalesce window must be >= 0, got "
+                       << opts.coalesce_window_seconds << " seconds");
+
+  const AdmissionPolicy& a = opts.admission;
+  SHFLBW_CHECK_MSG(
+      a.best_effort_occupancy > 0.0 && a.best_effort_occupancy <= 1.0,
+      "admission.best_effort_occupancy must be in (0, 1], got "
+          << a.best_effort_occupancy);
+  SHFLBW_CHECK_MSG(a.service_estimate_seconds >= 0.0,
+                   "admission.service_estimate_seconds must be >= 0, got "
+                       << a.service_estimate_seconds);
+  SHFLBW_CHECK_MSG(a.ewma_alpha > 0.0 && a.ewma_alpha <= 1.0,
+                   "admission.ewma_alpha must be in (0, 1], got "
+                       << a.ewma_alpha);
+
+  const DegradationPolicy& d = opts.degradation;
+  for (std::size_t i = 0; i < d.ladder_floors.size(); ++i) {
+    SHFLBW_CHECK_MSG(d.ladder_floors[i] > 0.0 && d.ladder_floors[i] <= 1.0,
+                     "degradation.ladder_floors[" << i << "] = "
+                         << d.ladder_floors[i] << " must be in (0, 1]");
+    SHFLBW_CHECK_MSG(i == 0 || d.ladder_floors[i] < d.ladder_floors[i - 1],
+                     "degradation.ladder_floors must be strictly descending; "
+                     "got " << d.ladder_floors[i - 1] << " then "
+                            << d.ladder_floors[i]);
+  }
+  SHFLBW_CHECK_MSG(
+      d.degrade_queue_fraction > 0.0 && d.degrade_queue_fraction <= 1.0,
+      "degradation.degrade_queue_fraction must be in (0, 1], got "
+          << d.degrade_queue_fraction);
+  SHFLBW_CHECK_MSG(d.upgrade_queue_fraction >= 0.0 &&
+                       d.upgrade_queue_fraction < d.degrade_queue_fraction,
+                   "degradation.upgrade_queue_fraction must be in [0, "
+                   "degrade_queue_fraction); got "
+                       << d.upgrade_queue_fraction << " vs degrade fraction "
+                       << d.degrade_queue_fraction);
+  SHFLBW_CHECK_MSG(
+      d.deadline_slack_fraction >= 0.0 && d.deadline_slack_fraction < 1.0,
+      "degradation.deadline_slack_fraction must be in [0, 1), got "
+          << d.deadline_slack_fraction);
+  SHFLBW_CHECK_MSG(d.hysteresis_seals >= 1,
+                   "degradation.hysteresis_seals must be >= 1, got "
+                       << d.hysteresis_seals);
+  SHFLBW_CHECK_MSG(d.latency_window >= 1,
+                   "degradation.latency_window must be >= 1, got "
+                       << d.latency_window);
+  // A forced format pins every layer; a quality ladder exists to move
+  // layers between formats/densities. Honouring both would make the
+  // ladder levels identical plans — reject the contradiction instead of
+  // silently compiling a ladder that cannot degrade.
+  SHFLBW_CHECK_MSG(
+      d.ladder_floors.empty() || !opts.engine.planner.force_format.has_value(),
+      "degradation.ladder_floors and engine.planner.force_format conflict: a "
+      "forced format leaves the quality ladder nothing to trade");
+
+  const RetryPolicy& r = opts.retry;
+  SHFLBW_CHECK_MSG(r.max_retries >= 0,
+                   "retry.max_retries must be >= 0, got " << r.max_retries);
+  SHFLBW_CHECK_MSG(r.backoff_seconds >= 0.0,
+                   "retry.backoff_seconds must be >= 0, got "
+                       << r.backoff_seconds);
+  SHFLBW_CHECK_MSG(r.backoff_multiplier >= 1.0,
+                   "retry.backoff_multiplier must be >= 1, got "
+                       << r.backoff_multiplier);
+}
+
 BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
-    : opts_(opts), cache_(std::make_shared<PackedWeightCache>()) {
-  SHFLBW_CHECK_MSG(opts_.replicas >= 1, "server needs at least one replica");
-  SHFLBW_CHECK_MSG(opts_.queue_capacity >= 1, "queue capacity must be >= 1");
-  SHFLBW_CHECK_MSG(opts_.max_batch >= 1, "max_batch must be >= 1");
-  SHFLBW_CHECK_MSG(opts_.coalesce_window_seconds >= 0.0,
-                   "coalesce window must be >= 0");
+    : opts_(std::move(opts)), cache_(std::make_shared<PackedWeightCache>()) {
+  ValidateServerOptions(opts_);
   // Autotune re-ranks plans by wall-clock measurement; replicas could
   // diverge onto different plans, breaking both cache sharing and the
   // bit-identical guarantee. Force the deterministic planner.
   opts_.engine.planner.autotune = false;
 
-  engines_.reserve(static_cast<std::size_t>(opts_.replicas));
-  for (int r = 0; r < opts_.replicas; ++r) {
-    engines_.push_back(std::make_unique<Engine>(model, opts_.engine, cache_));
-    // Compile the (deterministic, identical) plan now, while no
-    // scheduler thread exists: Engine::Plan lazily initializes engine
-    // state, and an engine is only ever touched by one thread — its
-    // replica loop — once the threads below start.
-    (void)engines_.back()->Plan();
+  // Expand the quality ladder into one PlannerOptions per level. No
+  // ladder = one level with the caller's planner options untouched
+  // (quality-aware only if the caller enabled it).
+  const std::vector<double>& floors = opts_.degradation.ladder_floors;
+  std::vector<PlannerOptions> ladder;
+  if (!floors.empty()) {
+    ladder = quality::LadderPlannerOptions(opts_.engine.planner, floors);
+  } else {
+    ladder.push_back(opts_.engine.planner);
+  }
+  const int levels = static_cast<int>(ladder.size());
+
+  engines_.resize(static_cast<std::size_t>(opts_.replicas));
+  for (auto& row : engines_) row.reserve(static_cast<std::size_t>(levels));
+  level_floors_.reserve(static_cast<std::size_t>(levels));
+  level_ratios_.reserve(static_cast<std::size_t>(levels));
+  for (int lvl = 0; lvl < levels; ++lvl) {
+    EngineOptions eo = opts_.engine;
+    eo.planner = ladder[static_cast<std::size_t>(lvl)];
+    // Compile each level's (deterministic, replica-identical) plan
+    // exactly once — on replica 0, while no scheduler thread exists —
+    // and let the other replicas adopt it. Quality-aware planning
+    // scores every (layer, format, density, V) mask, so recompiling it
+    // replicas-1 more times per level would multiply the most expensive
+    // startup step for bit-identical results. All engines pack into the
+    // shared cache_; its key (layer, format, density, v) keeps the
+    // levels' mixed-density entries distinct and shareable.
+    engines_[0].push_back(std::make_unique<Engine>(model, eo, cache_));
+    const ExecutionPlan& plan = engines_[0].back()->Plan();
+    for (int r = 1; r < opts_.replicas; ++r) {
+      engines_[static_cast<std::size_t>(r)].push_back(
+          std::make_unique<Engine>(model, eo, cache_));
+      engines_[static_cast<std::size_t>(r)].back()->AdoptPlan(plan);
+    }
+    if (floors.empty()) {
+      level_floors_.push_back(-1.0);
+      level_ratios_.push_back(-1.0);
+    } else {
+      level_floors_.push_back(floors[static_cast<std::size_t>(lvl)]);
+      level_ratios_.push_back(plan.MinRetainedRatio());
+    }
   }
   per_replica_.assign(engines_.size(), 0);
+  per_level_.assign(static_cast<std::size_t>(levels), 0);
+  admission_ = AdmissionController(opts_.admission, opts_.replicas);
+  controller_ = DegradationController(opts_.degradation, levels);
 
   threads_.reserve(engines_.size());
   for (int r = 0; r < static_cast<int>(engines_.size()); ++r) {
@@ -42,52 +148,133 @@ BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
 
 BatchServer::~BatchServer() { Shutdown(); }
 
-const ExecutionPlan& BatchServer::Plan() const {
-  // Safe concurrently with serving: every engine's plan was compiled in
+const ExecutionPlan& BatchServer::Plan() const { return PlanAt(0); }
+
+const ExecutionPlan& BatchServer::PlanAt(int level) const {
+  SHFLBW_CHECK_MSG(level >= 0 && level < levels(),
+                   "plan level " << level << " out of range [0, " << levels()
+                                 << ")");
+  // Safe concurrently with serving: every level's plan was compiled in
   // the constructor, so this is a read of an already-initialized value.
-  return engines_.front()->Plan();
+  return engines_.front()[static_cast<std::size_t>(level)]->Plan();
+}
+
+int BatchServer::levels() const {
+  return static_cast<int>(engines_.front().size());
+}
+
+double BatchServer::LevelFloor(int level) const {
+  SHFLBW_CHECK_MSG(level >= 0 && level < levels(),
+                   "ladder level " << level << " out of range [0, " << levels()
+                                   << ")");
+  return level_floors_[static_cast<std::size_t>(level)];
+}
+
+double BatchServer::LevelRetainedRatio(int level) const {
+  SHFLBW_CHECK_MSG(level >= 0 && level < levels(),
+                   "ladder level " << level << " out of range [0, " << levels()
+                                   << ")");
+  return level_ratios_[static_cast<std::size_t>(level)];
 }
 
 void BatchServer::Warmup() {
-  // One warmup request through the regular queue: whichever replica
-  // serves it packs every (layer, format) the plan selects into the
-  // shared cache, and all replicas resolve to the same keys, so later
-  // requests perform zero conversions. Going through the scheduler
-  // (instead of touching an engine from this thread) keeps the
-  // one-thread-per-engine invariant even when Warmup is called while
-  // requests are already in flight.
-  (void)Submit(Request{opts_.engine.activation_seed}).get();
+  // One forced request per ladder level through the regular queue:
+  // whichever replica serves level L packs every (layer, format,
+  // density, v) L's plan selects into the shared cache, and all
+  // replicas resolve to the same keys, so later requests — including
+  // batches a mid-overload downshift moves to a deeper level — perform
+  // zero conversions. Going through the scheduler (instead of touching
+  // an engine from this thread) keeps the one-thread-per-engine
+  // invariant even when Warmup is called while requests are in flight.
+  std::vector<std::future<Response>> futs;
+  futs.reserve(static_cast<std::size_t>(levels()));
+  for (int lvl = 0; lvl < levels(); ++lvl) {
+    futs.push_back(SubmitInternal(Request{opts_.engine.activation_seed}, lvl));
+  }
+  for (std::future<Response>& f : futs) (void)f.get();
 }
 
-std::future<Response> BatchServer::Submit(Request req) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [&] { return stop_ || queue_.size() < opts_.queue_capacity; });
-  if (stop_) throw std::runtime_error("BatchServer: submit after shutdown");
+std::future<Response> BatchServer::Enqueue(Request req, int force_level) {
   Pending p;
   p.req = req;
   p.id = next_id_++;
   p.submit_time = NowSeconds();
+  p.force_level = force_level;
   std::future<Response> fut = p.promise.get_future();
   queue_.push_back(std::move(p));
-  lock.unlock();
-  not_empty_.notify_one();
   return fut;
 }
 
-bool BatchServer::TrySubmit(Request req, std::future<Response>* out) {
+SubmitStatus BatchServer::Submit(Request req, std::future<Response>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t cap = admission_.CapacityFor(req.qos, opts_.queue_capacity);
+  not_full_.wait(lock, [&] { return stop_ || queue_.size() < cap; });
+  if (stop_) {
+    // Includes producers that were blocked on a full queue when
+    // Shutdown ran: they wake here with a typed rejection, never hang.
+    ++rejected_shutdown_;
+    return SubmitStatus::kRejectedShutdown;
+  }
+  if (!admission_.DeadlineFeasible(req.qos, req.deadline_seconds,
+                                   queue_.size())) {
+    ++rejected_deadline_;
+    return SubmitStatus::kRejectedInfeasibleDeadline;
+  }
+  *out = Enqueue(req, /*force_level=*/-1);
+  lock.unlock();
+  not_empty_.notify_one();
+  return SubmitStatus::kAccepted;
+}
+
+std::future<Response> BatchServer::Submit(Request req) {
+  std::future<Response> fut;
+  const SubmitStatus status = Submit(req, &fut);
+  SHFLBW_CHECK_MSG(status == SubmitStatus::kAccepted,
+                   "BatchServer: submit rejected ("
+                       << SubmitStatusName(status) << ")");
+  return fut;
+}
+
+SubmitStatus BatchServer::TrySubmit(Request req, std::future<Response>* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stop_ || queue_.size() >= opts_.queue_capacity) return false;
-    Pending p;
-    p.req = req;
-    p.id = next_id_++;
-    p.submit_time = NowSeconds();
-    *out = p.promise.get_future();
-    queue_.push_back(std::move(p));
+    if (stop_) {
+      ++rejected_shutdown_;
+      return SubmitStatus::kRejectedShutdown;
+    }
+    const std::size_t cap =
+        admission_.CapacityFor(req.qos, opts_.queue_capacity);
+    if (queue_.size() >= cap) {
+      ++rejected_queue_full_;
+      return SubmitStatus::kRejectedQueueFull;
+    }
+    if (!admission_.DeadlineFeasible(req.qos, req.deadline_seconds,
+                                     queue_.size())) {
+      ++rejected_deadline_;
+      return SubmitStatus::kRejectedInfeasibleDeadline;
+    }
+    *out = Enqueue(req, /*force_level=*/-1);
   }
   not_empty_.notify_one();
-  return true;
+  return SubmitStatus::kAccepted;
+}
+
+bool BatchServer::TrySubmitLegacy(Request req, std::future<Response>* out) {
+  return TrySubmit(req, out) == SubmitStatus::kAccepted;
+}
+
+std::future<Response> BatchServer::SubmitInternal(Request req,
+                                                  int force_level) {
+  // Warmup path: blocking, full queue share, no admission checks (the
+  // request is the server's own and carries no deadline).
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [&] { return stop_ || queue_.size() < opts_.queue_capacity; });
+  SHFLBW_CHECK_MSG(!stop_, "BatchServer: warmup after shutdown");
+  std::future<Response> fut = Enqueue(req, force_level);
+  lock.unlock();
+  not_empty_.notify_one();
+  return fut;
 }
 
 void BatchServer::Drain() {
@@ -95,13 +282,15 @@ void BatchServer::Drain() {
   // on entry and after every wakeup — so there is no unlocked
   // check-then-wait gap for a concurrent Submit to slip through:
   // either the submit lands before a predicate evaluation (next_id_
-  // grows, Drain keeps waiting for its completion) or after Drain has
-  // already observed completed_ == next_id_ and returned, which is
-  // correct — that request was not "submitted so far". completed_ is
-  // only ever incremented under mu_, batch-atomically with the
-  // idle_ notification, so Drain cannot miss the transition either.
+  // grows, Drain keeps waiting for its retirement) or after Drain has
+  // already observed completed_ + shed_ == next_id_ and returned, which
+  // is correct — that request was not "submitted so far". Both counters
+  // are only ever incremented under mu_, batch-atomically with the
+  // idle_ notification and after the batch's promises (served and shed
+  // alike) were resolved, so Drain cannot miss the transition and every
+  // pre-Drain future is ready when it returns.
   std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return completed_ == next_id_; });
+  idle_.wait(lock, [&] { return completed_ + shed_ == next_id_; });
 }
 
 void BatchServer::Shutdown() {
@@ -121,12 +310,23 @@ ServerStats BatchServer::Stats() const {
   ServerStats s;
   s.submitted = next_id_;
   s.completed = completed_;
+  s.shed = shed_;
+  s.rejected_queue_full = rejected_queue_full_;
+  s.rejected_deadline = rejected_deadline_;
+  s.rejected_shutdown = rejected_shutdown_;
+  s.retries = retries_;
+  s.failed = failed_;
   s.per_replica = per_replica_;
+  s.per_level = per_level_;
+  s.level = controller_.level();
+  s.downshifts = controller_.downshifts();
+  s.upshifts = controller_.upshifts();
+  s.estimated_service_seconds = admission_.EstimatedServiceSeconds();
   return s;
 }
 
 void BatchServer::ReplicaLoop(int replica) {
-  Engine& engine = *engines_[static_cast<std::size_t>(replica)];
+  auto& level_engines = engines_[static_cast<std::size_t>(replica)];
   const std::size_t max_batch =
       static_cast<std::size_t>(std::max(1, opts_.max_batch));
   std::unique_lock<std::mutex> lock(mu_);
@@ -144,10 +344,11 @@ void BatchServer::ReplicaLoop(int replica) {
     // capacity-full queue is as fused as this server can get and must
     // launch rather than stall out the whole window. The queue can
     // have been emptied by a sibling replica when the wait returns, so
-    // re-loop rather than assume work remains.
+    // re-loop rather than assume work remains. Forced (warmup)
+    // requests skip the window: they run alone, immediately.
     const std::size_t seal = std::min(max_batch, opts_.queue_capacity);
     if (opts_.coalesce_window_seconds > 0 && !stop_ &&
-        queue_.size() < seal) {
+        queue_.front().force_level < 0 && queue_.size() < seal) {
       not_empty_.wait_for(
           lock,
           std::chrono::duration<double>(opts_.coalesce_window_seconds),
@@ -156,37 +357,112 @@ void BatchServer::ReplicaLoop(int replica) {
     }
 
     // Seal the batch: the K oldest requests, FIFO submission order.
-    const std::size_t take = std::min(max_batch, queue_.size());
+    // Deadline-expired requests (except kCritical) are shed here — they
+    // resolve with kDeadlineExceeded instead of occupying a width slot
+    // in the fused launch, so the launch carries only live work. A
+    // forced (warmup) request always runs alone at its pinned level: it
+    // exists to pack one level's weights, and fusing user traffic into
+    // it would serve that traffic at a level the controller never
+    // chose.
+    const double seal_time = NowSeconds();
+    const std::size_t depth_at_seal = queue_.size();
     std::vector<Pending> batch;
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
+    std::vector<Pending> dropped;
+    int level = 0;
+    if (queue_.front().force_level >= 0) {
+      level = queue_.front().force_level;
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+    } else {
+      while (!queue_.empty() && batch.size() < max_batch &&
+             queue_.front().force_level < 0) {
+        Pending p = std::move(queue_.front());
+        queue_.pop_front();
+        const bool expired = p.req.deadline_seconds > 0 &&
+                             p.req.qos != QoS::kCritical &&
+                             seal_time - p.submit_time > p.req.deadline_seconds;
+        (expired ? dropped : batch).push_back(std::move(p));
+      }
+      // The controller observes every seal (even an all-shed one — a
+      // queue full of dead work is the strongest pressure signal there
+      // is) and picks the level this batch runs at.
+      level = controller_.OnSeal(depth_at_seal, opts_.queue_capacity);
     }
+    const std::size_t take = batch.size();
     lock.unlock();
-    // K slots freed: wake every blocked Submit, not just one.
-    if (take > 1) {
+    // Freed slots: wake every blocked Submit, not just one.
+    if (take + dropped.size() > 1) {
       not_full_.notify_all();
     } else {
       not_full_.notify_one();
     }
 
+    // Resolve shed promises before the counters are bumped under
+    // relock, so Drain returning implies every future is ready.
+    for (Pending& p : dropped) {
+      Response resp;
+      resp.id = p.id;
+      resp.status = ResponseStatus::kDeadlineExceeded;
+      resp.replica = replica;
+      resp.batch_width = 0;
+      resp.plan_level = level;
+      resp.queue_seconds = seal_time - p.submit_time;
+      p.promise.set_value(std::move(resp));
+    }
+
+    if (batch.empty()) {
+      lock.lock();
+      shed_ += dropped.size();
+      if (completed_ + shed_ == next_id_) idle_.notify_all();
+      continue;
+    }
+
     // queue_seconds stops here — coalesce time — for every request in
-    // the batch; run_seconds covers the fused launch, so the split
-    // still sums to submit-to-completion per request.
-    const double dispatch_time = NowSeconds();
+    // the batch; run_seconds covers the fused launch (including any
+    // retries), so the split still sums to submit-to-completion per
+    // request.
+    Engine& engine = *level_engines[static_cast<std::size_t>(level)];
+    const double dispatch_time = seal_time;
     std::vector<std::uint64_t> seeds;
     seeds.reserve(take);
     for (const Pending& p : batch) seeds.push_back(p.req.activation_seed);
+    int attempts = 0;
+    bool batch_failed = false;
+    double done = dispatch_time;
     try {
-      BatchRunResult run = engine.RunBatched(seeds);
-      const double done = NowSeconds();
+      // Bounded retry-with-backoff on transient faults (injected or
+      // backend-raised). A failed launch leaves the cache and the
+      // engine's streaming state unmodified — the injector fires before
+      // any mutation — so a retry is a clean re-execution and the
+      // eventual output is bit-identical to an unfaulted run.
+      // Non-transient errors propagate immediately.
+      BatchRunResult run;
+      for (;;) {
+        try {
+          run = engine.RunBatched(seeds);
+          break;
+        } catch (const TransientFault&) {
+          if (attempts >= opts_.retry.max_retries) throw;
+          const double backoff =
+              opts_.retry.backoff_seconds *
+              std::pow(opts_.retry.backoff_multiplier, attempts);
+          if (backoff > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+          }
+          ++attempts;
+        }
+      }
+      done = NowSeconds();
       for (std::size_t i = 0; i < take; ++i) {
         Pending& p = batch[i];
         Response resp;
         resp.id = p.id;
         resp.replica = replica;
         resp.batch_width = static_cast<int>(take);
+        resp.plan_level = level;
+        resp.retained_ratio = level_ratios_[static_cast<std::size_t>(level)];
+        resp.retries = attempts;
         resp.queue_seconds = dispatch_time - p.submit_time;
         resp.run_seconds = done - dispatch_time;
         resp.packs_performed = run.packs_performed;
@@ -194,17 +470,42 @@ void BatchServer::ReplicaLoop(int replica) {
         p.promise.set_value(std::move(resp));
       }
     } catch (...) {
+      batch_failed = true;
+      done = NowSeconds();
       for (Pending& p : batch) {
         p.promise.set_exception(std::current_exception());
       }
     }
 
     lock.lock();
-    // Retire the whole batch under one lock hold, atomically with the
-    // idle_ notification Drain waits on.
+    // Retire the whole batch (served and shed together) under one lock
+    // hold, atomically with the idle_ notification Drain waits on.
     completed_ += take;
+    shed_ += dropped.size();
+    retries_ += static_cast<std::uint64_t>(attempts);
     per_replica_[static_cast<std::size_t>(replica)] += take;
-    if (completed_ == next_id_) idle_.notify_all();
+    per_level_[static_cast<std::size_t>(level)] += take;
+    if (batch_failed) {
+      failed_ += take;
+    } else {
+      // Feed the control plane: the admission EWMA learns per-request
+      // service time from the fused launch (one observation per
+      // launch), the degradation controller sees every deadline-
+      // carrying completion's latency/deadline ratio. Warmup (forced)
+      // batches are excluded — they measure pack latency, not
+      // steady-state service.
+      if (batch.front().force_level < 0) {
+        admission_.RecordServiceTime((done - dispatch_time) /
+                                     static_cast<double>(take));
+        for (const Pending& p : batch) {
+          if (p.req.deadline_seconds > 0) {
+            controller_.RecordCompletion(done - p.submit_time,
+                                         p.req.deadline_seconds);
+          }
+        }
+      }
+    }
+    if (completed_ + shed_ == next_id_) idle_.notify_all();
   }
 }
 

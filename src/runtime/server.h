@@ -10,19 +10,31 @@
 // Cross-request fused batching: an idle replica coalesces up to
 // `max_batch` queued requests into ONE Engine::RunBatched call — their
 // activations pack into a single n*K-column matrix per layer, so K
-// requests cost one kernel launch per layer instead of K. Small-batch
-// serving is exactly the regime where per-request launches underfeed
-// the tile-parallel kernels; fusing re-widens them. Fairness is FIFO:
-// a batch is always the K oldest queued requests (never reordered),
-// and `coalesce_window_seconds` bounds how long a partial batch may
-// wait for company, so no request trades unbounded latency for
-// someone else's throughput.
+// requests cost one kernel launch per layer instead of K. Fairness is
+// FIFO: a batch is always the K oldest queued requests (never
+// reordered), and `coalesce_window_seconds` bounds how long a partial
+// batch may wait for company.
+//
+// Overload resilience (runtime/admission.h): requests carry a deadline
+// and a QoS class; Submit/TrySubmit return a typed SubmitStatus, and a
+// deadline the admission controller can prove unmeetable is rejected
+// up front. Requests whose deadline expires while queued are shed at
+// batch-seal time with a kDeadlineExceeded response instead of burning
+// a fused launch on dead work (kCritical requests are exempt). Under
+// sustained pressure a hysteresis controller degrades new batches down
+// a ladder of quality-aware plans (DegradationPolicy::ladder_floors —
+// all levels pack into the same shared cache, whose keys already
+// include density/V), and upgrades back when slack returns; every
+// Response records its plan_level and retained_ratio so degradation is
+// observable and bounded. Transient faults (runtime/fault_injection.h)
+// are retried with bounded backoff inside the scheduler loop.
 //
 // Determinism is preserved end to end: a request is a whole-model Run
 // keyed by an activation seed, and its output matrix is bit-identical
-// to running the same seed on a standalone single-threaded Engine — no
-// matter which replica served it, what else was in flight, or which
-// requests it was fused with (RunBatched's per-column-block contract).
+// to running the same seed on a standalone single-threaded Engine
+// *configured at the same ladder level* — no matter which replica
+// served it, what else was in flight, or which requests it was fused
+// with (RunBatched's per-column-block contract).
 #pragma once
 
 #include <condition_variable>
@@ -34,7 +46,9 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/admission.h"
 #include "runtime/engine.h"
+#include "runtime/fault_injection.h"
 
 namespace shflbw {
 namespace runtime {
@@ -60,21 +74,64 @@ struct ServerOptions {
   /// Options shared by every replica. `planner.autotune` is forced off:
   /// autotune re-ranks by wall-clock measurement, so replicas could
   /// diverge onto different plans and the shared-cache + bit-identical
-  /// guarantees would silently break.
+  /// guarantees would silently break. With a degradation ladder the
+  /// quality knobs (enabled / floor / min_retained_ratio) are overridden
+  /// per level; the density/V ladders and every other knob carry over.
   EngineOptions engine;
+  /// Deadline admission control (runtime/admission.h).
+  AdmissionPolicy admission;
+  /// Graceful quality degradation: ladder_floors non-empty compiles one
+  /// quality-aware plan per floor and lets the hysteresis controller
+  /// shift new batches between them under load. Empty = single plan,
+  /// no degradation (the pre-overload server).
+  DegradationPolicy degradation;
+  /// Bounded retry-with-backoff for TransientFault from the engine
+  /// (injected or backend-raised) inside the scheduler loop.
+  RetryPolicy retry;
 };
+
+/// Validates `opts` (replicas >= 1, queue_capacity >= 1, max_batch >=
+/// 1, coalesce window >= 0, admission / degradation / retry knobs, and
+/// the ladder x force_format conflict), throwing shflbw::Error with a
+/// descriptive message on the first violation. The BatchServer
+/// constructor calls this; exposed so callers can fail fast.
+void ValidateServerOptions(const ServerOptions& opts);
 
 /// One unit of work: a whole-model inference pass over the activation
 /// stream seeded by `activation_seed` (the stand-in for a real
 /// request's input tensor, as everywhere else in this repo).
 struct Request {
   std::uint64_t activation_seed = 0xac71ULL;
+  /// Deadline relative to submission; 0 = none. A request whose
+  /// deadline passes while it queues is shed at batch-seal time
+  /// (status kDeadlineExceeded) unless its QoS is kCritical.
+  double deadline_seconds = 0;
+  QoS qos = QoS::kStandard;
+};
+
+enum class ResponseStatus {
+  kOk = 0,
+  /// Shed at seal time: the deadline expired before a replica could
+  /// launch it. `output` is empty; queue_seconds covers submit->shed.
+  kDeadlineExceeded,
 };
 
 struct Response {
   std::uint64_t id = 0;    // submission order, dense from 0
-  int replica = -1;        // which replica served it
+  ResponseStatus status = ResponseStatus::kOk;
+  int replica = -1;        // which replica served (or shed) it
   int batch_width = 1;     // requests fused into the launch that served it
+  /// Ladder level this request was served at (0 = normal service).
+  /// Outputs at a fixed (seed, plan_level) are bit-identical to a
+  /// serial single-engine run at that level.
+  int plan_level = 0;
+  /// Min per-layer retained-score ratio of the serving plan — always
+  /// >= the level's ladder floor. -1 when the server runs without a
+  /// quality ladder and the plan was never quality-evaluated, and on
+  /// shed responses (nothing was served).
+  double retained_ratio = -1;
+  /// Transient-fault retries the serving launch needed (0 normally).
+  int retries = 0;
   Matrix<float> output;    // final layer output (bit-identical to serial)
   /// Latency split. queue_seconds stops at coalesce time (when the
   /// replica seals the batch this request joined — including any
@@ -89,9 +146,21 @@ struct Response {
 };
 
 struct ServerStats {
-  std::uint64_t submitted = 0;
-  std::uint64_t completed = 0;
+  std::uint64_t submitted = 0;  // admitted to the queue
+  std::uint64_t completed = 0;  // resolved by a launch (ok or error)
+  std::uint64_t shed = 0;       // deadline-expired, dropped at seal
+  // Conservation law (after Drain): submitted == completed + shed.
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;  // infeasible at admission
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t retries = 0;  // transient-fault retries across all batches
+  std::uint64_t failed = 0;   // requests resolved with an exception
   std::vector<std::uint64_t> per_replica;  // completed, by replica
+  std::vector<std::uint64_t> per_level;    // completed, by plan level
+  int level = 0;  // controller's current ladder level
+  std::uint64_t downshifts = 0;
+  std::uint64_t upshifts = 0;
+  double estimated_service_seconds = 0;  // admission EWMA / override
 };
 
 class BatchServer {
@@ -105,38 +174,69 @@ class BatchServer {
   BatchServer(const BatchServer&) = delete;
   BatchServer& operator=(const BatchServer&) = delete;
 
-  /// The (shared) execution plan. Planning is deterministic, so every
-  /// replica compiled this exact plan in the constructor; reading it is
-  /// safe while requests are in flight.
+  /// The execution plan of ladder level 0 (normal service). Planning is
+  /// deterministic and compiled in the constructor; reading it is safe
+  /// while requests are in flight.
   const ExecutionPlan& Plan() const;
 
-  /// Packs every weight the plan selects through the shared cache, so
-  /// the first served requests don't pay conversion latency. Optional —
-  /// the first Run of each layer packs on demand otherwise. Implemented
-  /// as one blocking request through the regular queue, so it is safe
-  /// to call at any time (engines are only ever touched by their own
-  /// replica thread).
+  /// The plan of one ladder level (0 <= level < levels()).
+  const ExecutionPlan& PlanAt(int level) const;
+
+  /// Number of ladder levels (1 when degradation is off).
+  int levels() const;
+
+  /// The quality floor of a ladder level (1.0-capped descending), or
+  /// -1 when the server runs without a ladder.
+  double LevelFloor(int level) const;
+
+  /// Min per-layer retained ratio of a level's compiled plan (what
+  /// every Response served at that level reports); -1 without a ladder.
+  double LevelRetainedRatio(int level) const;
+
+  /// Packs every weight every ladder level's plan selects through the
+  /// shared cache, so the first served requests don't pay conversion
+  /// latency (and a mid-overload downshift doesn't stall on a pack
+  /// phase). Optional — the first Run of each (layer, level) packs on
+  /// demand otherwise. Implemented as one blocking request per level
+  /// through the regular queue, so it is safe to call at any time
+  /// (engines are only ever touched by their own replica thread).
   void Warmup();
 
   /// Enqueues a request; the future resolves when a replica finishes
-  /// it. Blocks while the queue is at capacity; throws std::runtime_error
-  /// after Shutdown().
+  /// (or sheds) it. Blocks while the QoS class's queue share is at
+  /// capacity. Returns kAccepted (with *out set), kRejectedShutdown
+  /// (including producers that were blocked when Shutdown ran — they
+  /// wake with this status instead of hanging), or
+  /// kRejectedInfeasibleDeadline; *out is untouched on rejection.
+  SubmitStatus Submit(Request req, std::future<Response>* out);
+
+  /// Legacy blocking submit. Throws shflbw::Error on any rejection
+  /// (shutdown, infeasible deadline); prefer the SubmitStatus overload.
   std::future<Response> Submit(Request req);
 
-  /// Non-blocking Submit: returns false (and leaves *out untouched)
-  /// when the queue is full or the server is shut down.
-  bool TrySubmit(Request req, std::future<Response>* out);
+  /// Non-blocking Submit: like Submit(req, out) but returns
+  /// kRejectedQueueFull instead of waiting for space.
+  SubmitStatus TrySubmit(Request req, std::future<Response>* out);
 
-  /// Blocks until the server is idle: completed == submitted, checked
-  /// (and re-checked after every wakeup) under the queue mutex, so a
-  /// submit landing while Drain is blocked can never slip between a
-  /// stale check and the wait and let Drain() return with requests
-  /// still in flight. Note completed counts are batch-atomic: a fused
-  /// launch retires all K of its requests under one lock hold.
+  /// Deprecated bool shim for the pre-SubmitStatus API: true ==
+  /// kAccepted, false == any rejection (the statuses this collapses are
+  /// exactly why it is deprecated). Removed one release after
+  /// SubmitStatus.
+  [[deprecated("use the SubmitStatus-returning TrySubmit")]]
+  bool TrySubmitLegacy(Request req, std::future<Response>* out);
+
+  /// Blocks until the server is idle: completed + shed == submitted,
+  /// checked (and re-checked after every wakeup) under the queue mutex,
+  /// so a submit landing while Drain is blocked can never slip between
+  /// a stale check and the wait and let Drain() return with requests
+  /// still in flight. Retirement is batch-atomic and happens after the
+  /// batch's promises (served and shed alike) are resolved, so every
+  /// future submitted before Drain is ready when it returns.
   void Drain();
 
-  /// Stops accepting new requests, drains the queue, joins the replica
-  /// threads. Idempotent; called by the destructor.
+  /// Stops accepting new requests (blocked producers wake with
+  /// kRejectedShutdown), drains the queue, joins the replica threads.
+  /// Idempotent; called by the destructor.
   void Shutdown();
 
   ServerStats Stats() const;
@@ -149,14 +249,25 @@ class BatchServer {
     Request req;
     std::uint64_t id = 0;
     double submit_time = 0;
+    /// Warmup pins its per-level requests to a level (>= 0) and they
+    /// run as single-request batches; -1 = controller decides.
+    int force_level = -1;
     std::promise<Response> promise;
   };
 
+  /// Common admission path; assumes mu_ held, queue space available.
+  std::future<Response> Enqueue(Request req, int force_level);
+  std::future<Response> SubmitInternal(Request req, int force_level);
   void ReplicaLoop(int replica);
 
   ServerOptions opts_;
   std::shared_ptr<PackedWeightCache> cache_;
-  std::vector<std::unique_ptr<Engine>> engines_;
+  /// engines_[replica][level]: each replica owns one engine per ladder
+  /// level (plans differ; packed weights are shared through cache_).
+  /// An engine is only ever touched by its replica's scheduler thread.
+  std::vector<std::vector<std::unique_ptr<Engine>>> engines_;
+  std::vector<double> level_floors_;   // ladder floors (or {-1})
+  std::vector<double> level_ratios_;   // MinRetainedRatio per level plan
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;  // replicas wait for work
@@ -166,7 +277,16 @@ class BatchServer {
   bool stop_ = false;
   std::uint64_t next_id_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_deadline_ = 0;
+  std::uint64_t rejected_shutdown_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failed_ = 0;
   std::vector<std::uint64_t> per_replica_;
+  std::vector<std::uint64_t> per_level_;
+  AdmissionController admission_;     // guarded by mu_
+  DegradationController controller_;  // guarded by mu_
 
   std::vector<std::thread> threads_;
 };

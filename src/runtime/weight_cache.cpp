@@ -61,6 +61,10 @@ const PackedWeight& PackedWeightCache::GetOrPack(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    // Fault hook fires before any mutation: a TransientFault here
+    // leaves the cache byte-identical to before the call (no entry, no
+    // pack count), so a scheduler retry re-runs a clean miss.
+    if (injector_) injector_->OnPack();
     it = cache_.emplace(key, PackWeight(format, master_fn(), density, v))
              .first;
     ++packs_;

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <tuple>
 
@@ -22,6 +23,7 @@
 #include "format/csr.h"
 #include "format/shfl_bw.h"
 #include "format/vector_wise.h"
+#include "runtime/fault_injection.h"
 #include "runtime/format.h"
 
 namespace shflbw {
@@ -93,12 +95,24 @@ class PackedWeightCache {
     cache_.clear();
   }
 
+  /// Installs a fault injector consulted on every cache miss, BEFORE
+  /// the conversion runs or the cache mutates: an injected pack failure
+  /// throws TransientFault out of GetOrPack and leaves no partial entry
+  /// behind, so a retry sees a clean miss. Engines sharing this cache
+  /// install the same injector (EngineOptions::fault_injector); nullptr
+  /// uninstalls.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    std::lock_guard<std::mutex> lock(mu_);
+    injector_ = std::move(injector);
+  }
+
  private:
   using Key = std::tuple<int, int, double, int>;  // layer, format, density, v
 
   mutable std::mutex mu_;
   std::map<Key, PackedWeight> cache_;
   std::size_t packs_ = 0;
+  std::shared_ptr<FaultInjector> injector_;
 };
 
 /// Prunes `master` to `format` at (density, v) and converts the result

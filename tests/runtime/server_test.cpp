@@ -141,9 +141,12 @@ TEST(BatchServer, TrySubmitReportsFullQueue) {
   bool saw_full = false;
   for (int i = 0; i < 64 && !saw_full; ++i) {
     std::future<Response> fut;
-    if (server.TrySubmit(Request{}, &fut)) {
+    const SubmitStatus status = server.TrySubmit(Request{}, &fut);
+    if (status == SubmitStatus::kAccepted) {
       accepted.push_back(std::move(fut));
     } else {
+      // The typed status distinguishes a full queue from shutdown.
+      EXPECT_EQ(status, SubmitStatus::kRejectedQueueFull);
       saw_full = true;
     }
   }
@@ -166,7 +169,9 @@ TEST(BatchServer, ShutdownDrainsAdmittedRequestsAndRejectsNew) {
   }
   EXPECT_THROW(server->Submit(Request{}), std::runtime_error);
   std::future<Response> fut;
-  EXPECT_FALSE(server->TrySubmit(Request{}, &fut));
+  EXPECT_EQ(server->TrySubmit(Request{}, &fut),
+            SubmitStatus::kRejectedShutdown);
+  EXPECT_EQ(server->Submit(Request{}, &fut), SubmitStatus::kRejectedShutdown);
   server.reset();  // double shutdown via destructor is safe
 }
 
