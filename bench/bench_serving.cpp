@@ -24,6 +24,18 @@
 // retained_ratio honours its level's floor, and that spot-checked
 // outputs are bit-identical to a single-engine run at that level.
 //
+// An observability section then (a) measures serving throughput with
+// telemetry fully off vs metrics + tracing on (interleaved paired
+// rounds on one pre-warmed server, flipping the runtime telemetry
+// toggles) and gates — in --smoke too — that enabled stays within 2%
+// of disabled by at least one of two noise-robust estimators
+// (best-round ratio, median paired ratio), and (b) drives one traced
+// server through a retried, a shed, and a degraded request, writing
+// BENCH_serving_trace.json (Chrome trace-event format, loadable in
+// Perfetto / chrome://tracing) and BENCH_serving_metrics.prom
+// (Prometheus exposition), gating that every span kind appears and
+// that at least one run span is degraded and one retried.
+//
 // Flags: --smoke (tiny config, few requests — CI harness check)
 //        --out=FILE (default BENCH_serving.json)
 //        --requests=N (default 32 per configuration)
@@ -113,7 +125,8 @@ ConfigResult ServeConfig(const ModelDesc& model, const ServerOptions& opts,
     }
     for (int i = 0; i < wave; ++i) {
       Response resp = futures[static_cast<std::size_t>(i)].get();
-      latencies_ms.push_back((resp.queue_seconds + resp.run_seconds) * 1e3);
+      latencies_ms.push_back(
+          (resp.queue_seconds + resp.retry_seconds + resp.run_seconds) * 1e3);
       r.max_fused_width = std::max(r.max_fused_width, resp.batch_width);
       if (resp.output != ref.at(SeedOf(submitted + i))) {
         r.bit_identical = false;
@@ -135,6 +148,205 @@ struct FusionSummary {
   double fused_rps = 0;    // best max_batch>1 config at batch >= kFusedBatch
   int fused_width = 0;     // max_batch of the best fused config
 };
+
+/// Observability-overhead measurement: interleaved closed-loop rounds
+/// on ONE pre-warmed server, flipping the runtime telemetry toggles
+/// (Telemetry::set_metrics / set_tracing) between telemetry fully off
+/// and metrics + tracing on. Using a single server matters: two
+/// separately constructed servers differ by a few percent run-to-run
+/// from allocation/layout luck alone, which is the same order as the
+/// 2% overhead budget being gated. The same engines, weights, and
+/// threads serve both configurations, so the only difference each
+/// round is the telemetry hot path itself.
+struct ObsOverhead {
+  double disabled_rps = 0;   // best round, telemetry off
+  double enabled_rps = 0;    // best round, telemetry on
+  double best_ratio = 0;     // enabled_rps / disabled_rps
+  double median_ratio = 0;   // median over rounds of paired (enabled/disabled)
+  double ratio = 0;          // max(best_ratio, median_ratio) — the gated value
+};
+
+ObsOverhead MeasureObservabilityOverhead(const ModelDesc& model,
+                                         const ServerOptions& base,
+                                         int requests, int rounds) {
+  ServerOptions opts = base;
+  opts.replicas = 2;
+  opts.max_batch = 4;
+  opts.queue_capacity = 64;
+  opts.telemetry.metrics = true;
+  opts.telemetry.tracing = true;
+  opts.telemetry.trace_capacity = 1 << 16;  // ample: no drops mid-measurement
+
+  BatchServer server(model, opts);
+  server.Warmup();
+
+  const auto round = [&](bool telemetry_on) {
+    server.telemetry().set_metrics(telemetry_on);
+    server.telemetry().set_tracing(telemetry_on);
+    std::vector<std::future<Response>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    const double t0 = NowSeconds();
+    for (int i = 0; i < requests; ++i) {
+      Request req;
+      req.activation_seed = SeedOf(i);
+      futures.push_back(server.Submit(req));
+    }
+    for (auto& f : futures) (void)f.get();
+    return requests / std::max(1e-9, NowSeconds() - t0);
+  };
+
+  // Two estimators of the same overhead, with opposite failure modes
+  // on a host with ambient competing load:
+  //
+  //  - best_ratio compares each configuration's best round. Since
+  //    interference is one-sided (a competitor only ever slows a
+  //    closed loop down), the best of many short rounds estimates the
+  //    uncontended rate; rounds are short and numerous precisely so
+  //    each configuration lands at least one clean round. Fooled only
+  //    if one side never gets a clean round.
+  //  - median_ratio is the median of back-to-back paired ratios
+  //    (order alternating so a periodic competitor cannot phase-lock
+  //    with the pair cadence). Robust to any single bad round, but
+  //    biased if a competitor stays resident for most of the
+  //    measurement.
+  //
+  // A real telemetry regression moves both. The gate trips only when
+  // both agree (ratio = max of the two), which keeps it strict in
+  // expectation and quiet under noise.
+  (void)round(false);  // settle after warmup before the first timed round
+  ObsOverhead r;
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<std::size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) {
+    const bool off_first = (i % 2) == 0;
+    const double first = round(/*telemetry_on=*/!off_first);
+    const double second = round(/*telemetry_on=*/off_first);
+    const double d = off_first ? first : second;
+    const double e = off_first ? second : first;
+    r.disabled_rps = std::max(r.disabled_rps, d);
+    r.enabled_rps = std::max(r.enabled_rps, e);
+    ratios.push_back(d > 0 ? e / d : 0.0);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  r.best_ratio = r.disabled_rps > 0 ? r.enabled_rps / r.disabled_rps : 0.0;
+  r.median_ratio = ratios[ratios.size() / 2];
+  r.ratio = std::max(r.best_ratio, r.median_ratio);
+  return r;
+}
+
+/// Span census of the annotated trace scenario, plus the artifact
+/// write verdicts the exit-code gate checks.
+struct TraceScenario {
+  std::size_t spans = 0;
+  std::size_t queue = 0;
+  std::size_t coalesce = 0;
+  std::size_t kernel = 0;
+  std::size_t retry = 0;
+  std::size_t shed = 0;
+  std::size_t run = 0;
+  bool degraded_run = false;  // >= 1 run span served at level > 0
+  bool retried_run = false;   // >= 1 run span with retries > 0
+  bool wrote_trace = false;
+  bool wrote_metrics = false;
+};
+
+/// Drives one server through all three interesting request fates with
+/// tracing on — retried (fault budget on the first launches), shed
+/// (expired deadline held past the coalesce window), degraded (burst
+/// against delayed launches walks the ladder down) — then dumps the
+/// Chrome trace and the Prometheus exposition as committed artifacts.
+TraceScenario RunTraceScenario(const ModelDesc& model,
+                               const ServerOptions& base,
+                               const std::string& trace_path,
+                               const std::string& metrics_path) {
+  FaultInjectorOptions fi;
+  fi.launch_failure_rate = 1.0;
+  fi.max_failures = 2;  // the first batch retries exactly twice, then quiet
+  fi.launch_delay_rate = 1.0;
+  fi.launch_delay_seconds = 0.005;  // every launch drags: the burst queues up
+  ServerOptions opts = base;
+  opts.replicas = 1;
+  opts.max_batch = 4;
+  opts.queue_capacity = 8;
+  opts.coalesce_window_seconds = 0.02;
+  opts.engine.fault_injector = std::make_shared<FaultInjector>(fi);
+  opts.retry.max_retries = 4;
+  opts.retry.backoff_seconds = 1e-4;
+  opts.degradation.ladder_floors = {0.95, 0.70};
+  opts.degradation.degrade_queue_fraction = 0.5;
+  opts.degradation.hysteresis_seals = 1;
+  // The doomed request must reach the queue to be shed at seal — with
+  // the service estimate warm, admission would bounce it up front.
+  opts.admission.reject_infeasible_deadlines = false;
+  opts.telemetry.tracing = true;
+  opts.telemetry.trace_capacity = 1 << 16;
+  // No Warmup: the launch-fault budget must land on serving launches so
+  // the trace shows a retried request.
+  BatchServer server(model, opts);
+
+  // Fate 1 — retried: the first fused batch eats the whole fault budget.
+  {
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 4; ++i) {
+      Request req;
+      req.activation_seed = SeedOf(i);
+      futures.push_back(server.Submit(req));
+    }
+    for (auto& f : futures) (void)f.get();
+  }
+  // Fate 2 — shed: an already-expired deadline held past the window.
+  {
+    Request doomed;
+    doomed.deadline_seconds = 1e-6;
+    std::future<Response> doomed_fut = server.Submit(doomed);
+    std::future<Response> live_fut = server.Submit(Request{});
+    (void)doomed_fut.get();
+    (void)live_fut.get();
+  }
+  // Fate 3 — degraded: bursts deeper than degrade_queue_fraction of the
+  // queue while every launch drags 5 ms. Bounded repeats because the
+  // submit thread races the (slow) replica for queue occupancy.
+  for (int attempt = 0; attempt < 5 && server.Stats().downshifts == 0;
+       ++attempt) {
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 12; ++i) {
+      Request req;
+      req.activation_seed = SeedOf(100 + i);
+      futures.push_back(server.Submit(req));
+    }
+    for (auto& f : futures) (void)f.get();
+  }
+  server.Drain();
+
+  TraceScenario r;
+  const std::vector<obs::TraceEvent> events =
+      server.telemetry().trace().Snapshot();
+  r.spans = events.size();
+  for (const obs::TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case obs::SpanKind::kQueue: ++r.queue; break;
+      case obs::SpanKind::kCoalesce: ++r.coalesce; break;
+      case obs::SpanKind::kKernel: ++r.kernel; break;
+      case obs::SpanKind::kRetry: ++r.retry; break;
+      case obs::SpanKind::kShed: ++r.shed; break;
+      case obs::SpanKind::kRun:
+        ++r.run;
+        r.degraded_run = r.degraded_run || ev.level > 0;
+        r.retried_run = r.retried_run || ev.retries > 0;
+        break;
+      default: break;
+    }
+  }
+  r.wrote_trace = server.DumpTrace(trace_path);
+  std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+  if (mf != nullptr) {
+    const std::string text = server.MetricsText();
+    r.wrote_metrics = std::fwrite(text.data(), 1, text.size(), mf) ==
+                      text.size();
+    std::fclose(mf);
+  }
+  return r;
+}
 
 /// One open-loop overload run (fixed seeded arrival schedule).
 struct OverloadResult {
@@ -300,7 +512,10 @@ OverloadResult ServeOverload(const ModelDesc& model, const ServerOptions& base,
       ++r.completed;
       r.curve[i] = resp.plan_level;
       r.max_level = std::max(r.max_level, resp.plan_level);
-      if (resp.queue_seconds + resp.run_seconds > deadline_seconds) ++r.late;
+      if (resp.queue_seconds + resp.retry_seconds + resp.run_seconds >
+          deadline_seconds) {
+        ++r.late;
+      }
       if (resp.retained_ratio + 1e-12 <
           floors[static_cast<std::size_t>(resp.plan_level)]) {
         r.quality_honored = false;
@@ -399,7 +614,9 @@ bool WriteJson(const std::string& path, const ModelDesc& model,
                double single_rps, double multi_rps, int multi_replicas,
                const FusionSummary& fusion, double svc_seconds,
                double deadline_seconds, const OverloadResult& baseline,
-               const OverloadResult& degraded, bool all_identical) {
+               const OverloadResult& degraded, const ObsOverhead& obs,
+               const TraceScenario& trace, const std::string& trace_path,
+               const std::string& metrics_path, bool all_identical) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -467,6 +684,31 @@ bool WriteJson(const std::string& path, const ModelDesc& model,
                svc_seconds * 1e3, deadline_seconds * 1e3);
   WriteOverloadJson(f, "baseline", baseline, /*trailing_comma=*/true);
   WriteOverloadJson(f, "ladder", degraded, /*trailing_comma=*/false);
+  std::fprintf(f, "  },\n");
+  // Observability: the overhead gate's two throughputs (the gate trips
+  // when BOTH the best-round and the median-paired enabled/disabled
+  // ratios fall below 0.98 — exit-code enforced, --smoke included) and
+  // the span census of the annotated trace scenario whose Chrome trace
+  // + Prometheus dump are written next to this file.
+  std::fprintf(f, "  \"observability\": {\n");
+  std::fprintf(f,
+               "    \"disabled_rps\": %.3f, \"enabled_rps\": %.3f, "
+               "\"best_round_ratio\": %.4f, \"median_paired_ratio\": %.4f,\n",
+               obs.disabled_rps, obs.enabled_rps, obs.best_ratio,
+               obs.median_ratio);
+  std::fprintf(f,
+               "    \"trace_file\": \"%s\", \"metrics_file\": \"%s\",\n",
+               trace_path.c_str(), metrics_path.c_str());
+  std::fprintf(f,
+               "    \"trace_spans\": {\"total\": %zu, \"queue\": %zu, "
+               "\"coalesce\": %zu, \"kernel\": %zu, \"retry\": %zu, "
+               "\"shed\": %zu, \"run\": %zu},\n",
+               trace.spans, trace.queue, trace.coalesce, trace.kernel,
+               trace.retry, trace.shed, trace.run);
+  std::fprintf(f,
+               "    \"degraded_run_span\": %s, \"retried_run_span\": %s\n",
+               trace.degraded_run ? "true" : "false",
+               trace.retried_run ? "true" : "false");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"bit_identical\": %s\n}\n",
                all_identical ? "true" : "false");
@@ -659,9 +901,49 @@ int Main(int argc, char** argv) {
   PrintOverload("baseline", over_base);
   PrintOverload("ladder", over_ladder);
 
+  // ---- Observability: overhead gate + annotated trace artifacts ----
+  // One pre-warmed server, runtime-toggled telemetry, interleaved
+  // paired rounds: the telemetry hot path (sharded counter adds + span
+  // ring writes) must cost less than 2% of serving throughput, or
+  // enabling it in production is not an honest default. Measured on
+  // the full-size model even in smoke — the smoke sweep model's
+  // ~0.1 ms requests put a 2% margin inside scheduler noise, which
+  // would make the gate flaky, not strict.
+  // The 2% budget the gate enforces (shared with the re-measure
+  // confirmation below and the FAIL branch at the end).
+  constexpr double kObsOverheadFloor = 0.98;
+  ObsOverhead obs =
+      MeasureObservabilityOverhead(over_model, base, /*requests=*/80,
+                                   /*rounds=*/16);
+  if (obs.ratio < kObsOverheadFloor) {
+    // Confirm before failing: a saturated runner can swamp both
+    // estimators at once, but that state rarely survives two full
+    // measurements. A real regression reproduces.
+    std::printf("\n  observability: ratio %.4f below %.2f, re-measuring "
+                "to confirm\n", obs.ratio, kObsOverheadFloor);
+    obs = MeasureObservabilityOverhead(over_model, base, /*requests=*/80,
+                                       /*rounds=*/16);
+  }
+  std::printf("\n  observability: disabled %.2f rps, enabled %.2f rps "
+              "-> %.4fx (best %.4f, median-paired %.4f)\n",
+              obs.disabled_rps, obs.enabled_rps, obs.ratio,
+              obs.best_ratio, obs.median_ratio);
+  const std::string trace_path = "BENCH_serving_trace.json";
+  const std::string metrics_path = "BENCH_serving_metrics.prom";
+  const TraceScenario trace =
+      RunTraceScenario(over_model, base, trace_path, metrics_path);
+  std::printf("  trace: %zu spans (%zu queue, %zu coalesce, %zu kernel, "
+              "%zu retry, %zu shed, %zu run); degraded run %s, retried "
+              "run %s\n",
+              trace.spans, trace.queue, trace.coalesce, trace.kernel,
+              trace.retry, trace.shed, trace.run,
+              trace.degraded_run ? "yes" : "NO", trace.retried_run ? "yes"
+                                                                   : "NO");
+
   const bool wrote = WriteJson(out, model, config, base, requests, results,
                                single_rps, multi_rps, multi_replicas, fusion,
-                               svc, deadline, over_base, over_ladder,
+                               svc, deadline, over_base, over_ladder, obs,
+                               trace, trace_path, metrics_path,
                                all_identical);
   if (wrote) std::printf("\nwrote %s\n", out.c_str());
 
@@ -713,6 +995,44 @@ int Main(int argc, char** argv) {
   if (!over_base.bit_identical || !over_ladder.bit_identical) {
     std::fprintf(stderr, "FAIL: a degraded output diverged from the serial "
                  "single-engine run at its level\n");
+    ok = false;
+  }
+  // Observability gates — active in --smoke too. The overhead budget is
+  // the tentpole claim: full telemetry (metrics + tracing) within 2% of
+  // telemetry off.
+  if (obs.ratio < kObsOverheadFloor) {
+    std::fprintf(stderr, "FAIL: telemetry-enabled throughput fell below "
+                 "%.0f%% of disabled by both estimators (best-round "
+                 "ratio %.4f, median paired ratio %.4f; best rounds: "
+                 "enabled %.2f rps, disabled %.2f rps)\n",
+                 kObsOverheadFloor * 100, obs.best_ratio,
+                 obs.median_ratio, obs.enabled_rps, obs.disabled_rps);
+    ok = false;
+  }
+  // Span-census gates only apply when spans exist: at SHFLBW_OBS=0 the
+  // recorder compiles to a no-op and the dumped trace is (correctly)
+  // empty.
+  if constexpr (shflbw::obs::kCompiledIn) {
+    if (trace.queue == 0 || trace.coalesce == 0 || trace.kernel == 0 ||
+        trace.retry == 0 || trace.shed == 0 || trace.run == 0) {
+      std::fprintf(stderr, "FAIL: trace scenario missing a span kind "
+                   "(queue %zu, coalesce %zu, kernel %zu, retry %zu, "
+                   "shed %zu, run %zu)\n",
+                   trace.queue, trace.coalesce, trace.kernel, trace.retry,
+                   trace.shed, trace.run);
+      ok = false;
+    }
+    if (!trace.degraded_run || !trace.retried_run) {
+      std::fprintf(stderr, "FAIL: trace scenario lacks a %s run span\n",
+                   !trace.degraded_run ? "degraded (level > 0)"
+                                       : "retried (retries > 0)");
+      ok = false;
+    }
+  }
+  if (!trace.wrote_trace || !trace.wrote_metrics) {
+    std::fprintf(stderr, "FAIL: could not write %s\n",
+                 !trace.wrote_trace ? "the Chrome trace dump"
+                                    : "the Prometheus metrics dump");
     ok = false;
   }
   return ok ? 0 : 1;

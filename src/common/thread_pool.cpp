@@ -93,6 +93,15 @@ class WorkerPool {
     return pool;
   }
 
+  PoolStats Stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    PoolStats s;
+    s.workers = static_cast<int>(workers_.size());
+    s.active_regions = active_regions_;
+    s.regions_entered = regions_entered_;
+    return s;
+  }
+
   /// Runs `job` with up to `extra_workers` pool workers assisting the
   /// calling thread; fewer (possibly zero) join when other regions hold
   /// part of the pool. Returns once every chunk has retired and no
@@ -101,6 +110,7 @@ class WorkerPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++active_regions_;
+      ++regions_entered_;
       Grow(extra_workers);
       const int capacity = static_cast<int>(slots_.size());
       const int fair_share = std::max(1, capacity / active_regions_);
@@ -192,6 +202,7 @@ class WorkerPool {
   std::vector<std::thread> workers_;
   std::vector<Slot> slots_;  // slots_[i] belongs to workers_[i]
   int active_regions_ = 0;   // concurrent Run calls, for the fair share
+  std::uint64_t regions_entered_ = 0;  // lifetime total, for PoolStats
   bool stop_ = false;
 };
 
@@ -211,6 +222,8 @@ void SetParallelThreads(int n) {
   // an absurd pool.
   g_thread_override.store(std::clamp(n, 0, 1024), std::memory_order_relaxed);
 }
+
+PoolStats GetPoolStats() { return WorkerPool::Instance().Stats(); }
 
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& fn) {

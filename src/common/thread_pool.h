@@ -61,4 +61,19 @@ void SetParallelThreads(int n);
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+/// Point-in-time view of the process-wide worker pool, for telemetry
+/// (obs::Telemetry publishes these as gauges). Cheap — one mutex
+/// acquisition on the pool; safe to call at any time.
+struct PoolStats {
+  /// Workers spawned so far (the pool never shrinks).
+  int workers = 0;
+  /// ParallelFor regions currently executing inside the pool.
+  int active_regions = 0;
+  /// Total parallel regions the pool has run since process start
+  /// (serial fallbacks — single-chunk or nested calls — not counted).
+  std::uint64_t regions_entered = 0;
+};
+
+PoolStats GetPoolStats();
+
 }  // namespace shflbw

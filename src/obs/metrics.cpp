@@ -1,0 +1,300 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace obs {
+namespace {
+
+/// 2^(-3/4), 2^(-1/2), 2^(-1/4): the quarter-octave thresholds of the
+/// frexp fraction (in [0.5, 1)) used to place a value inside its
+/// octave without calling log().
+constexpr double kQ1 = 0.5946035575013605;   // 2^(-3/4)
+constexpr double kQ2 = 0.7071067811865476;   // 2^(-1/2)
+constexpr double kQ3 = 0.8408964152537145;   // 2^(-1/4)
+
+/// Escapes a metric name's label values for the exposition ('\' and
+/// '"' and newlines; label values here are layer/format names, so this
+/// is belt-and-braces).
+std::string EscapeExpo(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Family = name up to the label set; `shflbw_x_total{layer="a"}` ->
+/// `shflbw_x_total`.
+std::string FamilyOf(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Splits `name` into (family, label set incl. braces or empty).
+std::string LabelsOf(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? std::string() : name.substr(brace);
+}
+
+/// Inserts `extra` ('le="..."') into a name's label set, creating one
+/// when absent: `f{a="b"}` + `le="x"` -> `f{a="b",le="x"}`.
+std::string WithExtraLabel(const std::string& family,
+                           const std::string& labels,
+                           const std::string& extra) {
+  if (labels.empty()) return family + "{" + extra + "}";
+  return family + labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+void AppendNumber(std::ostringstream& os, double v) {
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  os << v;
+}
+
+}  // namespace
+
+std::size_t ThisThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+Histogram::Histogram(double min_value)
+    : min_value_(min_value > 0 ? min_value : 1e-6),
+      inv_min_(1.0 / min_value_),
+      shards_(new Shard[kShards]) {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < kBuckets + 2; ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int Histogram::BucketOf(double value) const {
+  const double r = value * inv_min_;
+  if (!(r >= 1.0)) return 0;  // underflow (and NaN)
+  int e = 0;
+  const double f = std::frexp(r, &e);  // r = f * 2^e, f in [0.5, 1)
+  // log2(r) lies in [e-1, e); the quarter within the octave comes from
+  // comparing the fraction against the 2^(-k/4) thresholds.
+  const int quarter = (f >= kQ1) + (f >= kQ2) + (f >= kQ3);
+  const int idx = (e - 1) * kSubBuckets + quarter;
+  if (idx >= kBuckets) return kBuckets + 1;  // overflow
+  return idx + 1;
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t n = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < kBuckets + 2; ++b) {
+      n += shards_[s].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return n;
+}
+
+double Histogram::Sum() const {
+  double sum = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    sum += shards_[s].sum.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::vector<std::uint64_t> Histogram::MergedBuckets() const {
+  std::vector<std::uint64_t> merged(kBuckets + 2, 0);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < kBuckets + 2; ++b) {
+      merged[b] += shards_[s].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::BucketUpperBound(std::size_t i) const {
+  if (i == 0) return min_value_;
+  if (i >= kBuckets + 1) return std::numeric_limits<double>::infinity();
+  return min_value_ *
+         std::exp2(static_cast<double>(i) / kSubBuckets);
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<std::uint64_t> merged = MergedBuckets();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : merged) total += c;
+  if (total == 0) return 0;
+  // Nearest-rank (1-based): the smallest bucket whose cumulative count
+  // reaches ceil(q * total), clamped to at least rank 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    cum += merged[i];
+    if (cum >= rank) {
+      if (i == 0) return min_value_;                    // underflow bucket
+      if (i == kBuckets + 1) {                          // overflow bucket
+        return min_value_ * std::exp2(static_cast<double>(kBuckets) /
+                                      kSubBuckets);
+      }
+      // Geometric midpoint of [min*2^((i-1)/4), min*2^(i/4)).
+      return min_value_ *
+             std::exp2((static_cast<double>(i) - 0.5) / kSubBuckets);
+    }
+  }
+  return min_value_;  // unreachable
+}
+
+Registry::Entry& Registry::GetEntry(const std::string& name, Type type,
+                                    const std::string& help,
+                                    double min_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    SHFLBW_CHECK_MSG(it->second.type == type,
+                     "metric '" << name
+                                << "' already registered as a different type");
+    return it->second;
+  }
+  Entry e;
+  e.type = type;
+  e.help = help;
+  switch (type) {
+    case Type::kCounter: e.counter = std::make_unique<Counter>(); break;
+    case Type::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+    case Type::kHistogram:
+      e.histogram = std::make_unique<Histogram>(min_value);
+      break;
+  }
+  return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& Registry::GetCounter(const std::string& name,
+                              const std::string& help) {
+  return *GetEntry(name, Type::kCounter, help, 0).counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const std::string& help) {
+  return *GetEntry(name, Type::kGauge, help, 0).gauge;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  double min_value) {
+  return *GetEntry(name, Type::kHistogram, help, min_value).histogram;
+}
+
+const Counter* Registry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.type == Type::kCounter
+             ? it->second.counter.get()
+             : nullptr;
+}
+
+const Gauge* Registry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.type == Type::kGauge
+             ? it->second.gauge.get()
+             : nullptr;
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.type == Type::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
+std::vector<std::string> Registry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) names.push_back(name);
+  return names;
+}
+
+std::string Registry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os.precision(9);
+  std::string last_family;
+  // metrics_ is name-sorted, so one family's metrics are contiguous.
+  for (const auto& [name, entry] : metrics_) {
+    const std::string family = FamilyOf(name);
+    const std::string labels = LabelsOf(name);
+    if (family != last_family) {
+      last_family = family;
+      if (!entry.help.empty()) {
+        os << "# HELP " << family << " " << EscapeExpo(entry.help) << "\n";
+      }
+      const char* type = entry.type == Type::kCounter   ? "counter"
+                         : entry.type == Type::kGauge   ? "gauge"
+                                                        : "histogram";
+      os << "# TYPE " << family << " " << type << "\n";
+    }
+    switch (entry.type) {
+      case Type::kCounter:
+        os << name << " ";
+        AppendNumber(os, entry.counter->Value());
+        os << "\n";
+        break;
+      case Type::kGauge:
+        os << name << " ";
+        AppendNumber(os, entry.gauge->Value());
+        os << "\n";
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        const std::vector<std::uint64_t> merged = h.MergedBuckets();
+        std::uint64_t cum = 0;
+        // Cumulative buckets; empty tail buckets are folded into the
+        // final +Inf line to keep the dump readable.
+        std::size_t last_used = 0;
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+          if (merged[i] > 0) last_used = i;
+        }
+        for (std::size_t i = 0; i <= last_used && i + 1 < merged.size();
+             ++i) {
+          cum += merged[i];
+          std::ostringstream le;
+          le.precision(9);
+          le << "le=\"";
+          AppendNumber(le, h.BucketUpperBound(i));
+          le << "\"";
+          os << WithExtraLabel(family + "_bucket", labels, le.str()) << " "
+             << cum << "\n";
+        }
+        os << WithExtraLabel(family + "_bucket", labels, "le=\"+Inf\"") << " "
+           << h.Count() << "\n";
+        os << family << "_sum" << labels << " ";
+        AppendNumber(os, h.Sum());
+        os << "\n";
+        os << family << "_count" << labels << " " << h.Count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace shflbw

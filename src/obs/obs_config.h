@@ -1,0 +1,29 @@
+// Compile-time master switch of the observability subsystem.
+//
+// SHFLBW_OBS=1 (the default) compiles the full telemetry surface:
+// trace-span recording, latency histograms, and kernel profiling.
+// SHFLBW_OBS=0 compiles those hot-path record calls down to nothing —
+// the types and APIs stay (so call sites and tests keep compiling),
+// but Record()/span emission are empty and exports report zero events.
+// Counters and gauges remain live at either setting: they are the
+// mechanism ServerStats is built on, and one relaxed atomic add is the
+// baseline cost of having stats at all.
+//
+// Runtime granularity lives on top of this: obs::Telemetry carries
+// per-server enable flags (TelemetryOptions::metrics / ::tracing) that
+// gate recording per instance without recompiling.
+#pragma once
+
+#ifndef SHFLBW_OBS
+#define SHFLBW_OBS 1
+#endif
+
+namespace shflbw {
+namespace obs {
+
+/// True when the subsystem is compiled in; `if constexpr` on this
+/// lets hot paths vanish entirely under SHFLBW_OBS=0.
+inline constexpr bool kCompiledIn = SHFLBW_OBS != 0;
+
+}  // namespace obs
+}  // namespace shflbw

@@ -1,0 +1,13 @@
+#include "obs/telemetry.h"
+
+namespace shflbw {
+namespace obs {
+
+Telemetry::Telemetry(const TelemetryOptions& options)
+    : metrics_(options.metrics),
+      trace_(options.trace_capacity > 0 ? options.trace_capacity : 1) {
+  trace_.SetEnabled(options.tracing);
+}
+
+}  // namespace obs
+}  // namespace shflbw

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/clock.h"
@@ -155,6 +156,49 @@ const Tensor4& Engine::FusedConvInput(const ConvShape& shape, int width) {
   return conv_input_scratch_;
 }
 
+const std::vector<Engine::KernelMetrics>& Engine::KernelMetricsHandles() {
+  if (!kernel_metrics_.empty()) return kernel_metrics_;
+  obs::Registry& reg = opts_.telemetry->registry();
+  kernel_metrics_.reserve(plan_->layers.size());
+  for (const LayerPlan& lp : plan_->layers) {
+    // Full profiling key: the (layer, format, density, V) tuple the
+    // roofline calibration wants, formatted once here and never on the
+    // launch path.
+    std::ostringstream key;
+    key.precision(4);
+    key << "{layer=\"" << lp.name << "\",format=\"" << FormatName(lp.format)
+        << "\",density=\"" << lp.density << "\",v=\"" << lp.v << "\"}";
+    // The drift row shares the full key: distinct ladder levels plan
+    // the same layer name at different (format, density, V) — and
+    // different modeled_s — so a layer-only label would make levels
+    // fight over one gauge. Replicas at the same level share a plan,
+    // so sharing the row is correct there.
+    const std::string labels = key.str();
+    KernelMetrics m;
+    m.launches = &reg.GetCounter(
+        "shflbw_kernel_launches_total" + labels,
+        "Fused kernel launches per (layer, format, density, V)");
+    m.seconds = &reg.GetCounter("shflbw_kernel_seconds_total" + labels,
+                                "Fused kernel wall-clock seconds");
+    m.requests = &reg.GetCounter("shflbw_kernel_requests_total" + labels,
+                                 "Requests served by fused launches "
+                                 "(sum of widths)");
+    m.flops = &reg.GetCounter("shflbw_kernel_flops_total" + labels,
+                              "Useful FLOPs retired by fused launches");
+    m.measured = &reg.GetGauge("shflbw_plan_measured_seconds" + labels,
+                               "Measured per-request layer seconds "
+                               "(cumulative mean over launches)");
+    m.drift = &reg.GetGauge("shflbw_plan_drift_ratio" + labels,
+                            "Measured / planner-modeled per-request layer "
+                            "seconds");
+    reg.GetGauge("shflbw_plan_modeled_seconds" + labels,
+                 "Planner cost-model per-request layer seconds")
+        .Set(lp.modeled_s);
+    kernel_metrics_.push_back(m);
+  }
+  return kernel_metrics_;
+}
+
 RunResult Engine::Run() { return Run(opts_.activation_seed); }
 
 RunResult Engine::Run(std::uint64_t activation_seed) {
@@ -172,10 +216,20 @@ RunResult Engine::Run(std::uint64_t activation_seed) {
 }
 
 BatchRunResult Engine::RunBatched(const std::vector<std::uint64_t>& seeds) {
+  return RunBatched(seeds, BatchContext{});
+}
+
+BatchRunResult Engine::RunBatched(const std::vector<std::uint64_t>& seeds,
+                                  const BatchContext& ctx) {
   SHFLBW_CHECK_MSG(!seeds.empty(), "RunBatched needs at least one request");
   const int width = static_cast<int>(seeds.size());
   const ExecutionPlan& plan = Plan();
   const std::size_t packs_before = cache_->TotalPacks();
+  obs::Telemetry* const tel = opts_.telemetry.get();
+  const bool profile = tel != nullptr && tel->metrics_on();
+  const bool tracing = tel != nullptr && tel->tracing_on();
+  const std::vector<KernelMetrics>* km =
+      profile ? &KernelMetricsHandles() : nullptr;
 
   BatchRunResult result;
   result.width = width;
@@ -244,6 +298,39 @@ BatchRunResult Engine::RunBatched(const std::vector<std::uint64_t>& seeds) {
     rec.modeled_dense_s = lp.modeled_dense_s;
     result.kernel_seconds += rec.seconds;
     result.weighted_seconds += rec.seconds * l.repeat;
+
+    if (profile) {
+      // One launch retired: bump the (layer, format, density, V) row
+      // and refresh the per-request measured mean + drift against the
+      // planner's model. All relaxed adds / stores — replicas sharing
+      // the registry converge on the merged totals.
+      const KernelMetrics& m = (*km)[i];
+      m.launches->Add();
+      m.seconds->Add(rec.seconds);
+      m.requests->Add(width);
+      m.flops->Add(rec.useful_flops);
+      const double total_s = m.seconds->Value();
+      const double total_req = m.requests->Value();
+      if (total_req > 0) {
+        const double per_request = total_s / total_req;
+        m.measured->Set(per_request);
+        if (lp.modeled_s > 0) m.drift->Set(per_request / lp.modeled_s);
+      }
+    }
+    if (tracing) {
+      obs::TraceEvent ev;
+      ev.kind = obs::SpanKind::kKernel;
+      ev.begin_seconds = t0;
+      ev.end_seconds = t1;
+      ev.batch_id = ctx.batch_id;
+      ev.replica = ctx.replica;
+      ev.level = ctx.level;
+      ev.layer = static_cast<std::int32_t>(i);
+      ev.width = width;
+      ev.SetLabel(rec.name);
+      ev.SetLabel2(FormatName(lp.format));
+      tel->trace().Record(ev);
+    }
     result.layers.push_back(std::move(rec));
 
     // Stream this layer's output into the next layer's input at unit

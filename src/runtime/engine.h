@@ -25,6 +25,7 @@
 
 #include "arch/gpu_spec.h"
 #include "kernels/conv2d.h"
+#include "obs/telemetry.h"
 #include "runtime/fault_injection.h"
 #include "runtime/model_desc.h"
 #include "runtime/planner.h"
@@ -47,6 +48,23 @@ struct EngineOptions {
   /// null). Injection is seeded and deterministic — see
   /// runtime/fault_injection.h.
   std::shared_ptr<FaultInjector> fault_injector;
+  /// Optional telemetry sink. When set, every fused layer launch
+  /// accumulates per-(layer, format, density, V) wall-time / FLOP
+  /// counters plus a planned-vs-measured drift gauge per layer
+  /// (metrics_on), and emits one kernel span per layer (tracing_on).
+  /// The BatchServer shares its own Telemetry with every replica so
+  /// engine-side spans land in the same trace as the serving spans.
+  std::shared_ptr<obs::Telemetry> telemetry;
+};
+
+/// Serving context a BatchServer threads through a fused launch so the
+/// engine's kernel spans / profiling rows carry the batch identity:
+/// the K request `run` spans and the per-layer kernel spans of one
+/// fused launch correlate through the shared batch_id.
+struct BatchContext {
+  std::uint64_t batch_id = obs::kNoId;
+  std::int32_t replica = -1;
+  std::int32_t level = -1;  // ladder level this engine serves
 };
 
 /// Measured execution of one layer (one invocation).
@@ -145,6 +163,13 @@ class Engine {
   /// non-empty.
   BatchRunResult RunBatched(const std::vector<std::uint64_t>& seeds);
 
+  /// RunBatched with a serving context: identical execution, but the
+  /// kernel spans and profiling rows it records carry the caller's
+  /// batch/replica/level identity. RunBatched(seeds) ==
+  /// RunBatched(seeds, BatchContext{}).
+  BatchRunResult RunBatched(const std::vector<std::uint64_t>& seeds,
+                            const BatchContext& ctx);
+
   const ModelDesc& model() const { return model_; }
   const EngineOptions& options() const { return opts_; }
   const PackedWeightCache& cache() const { return *cache_; }
@@ -186,6 +211,22 @@ class Engine {
   /// (format, density, v); used by Autotune.
   double TimeLayerOnce(int layer, const FormatCandidate& cand);
 
+  /// Cached registry handles of one plan layer's profiling row, so the
+  /// per-launch hot path is a handful of relaxed atomic adds — no name
+  /// formatting, no registry lookup.
+  struct KernelMetrics {
+    obs::Counter* launches = nullptr;
+    obs::Counter* seconds = nullptr;   // fused launch wall-clock
+    obs::Counter* requests = nullptr;  // sum of fused widths
+    obs::Counter* flops = nullptr;     // useful FLOPs retired
+    obs::Gauge* measured = nullptr;    // cumulative per-request seconds
+    obs::Gauge* drift = nullptr;       // measured / planner-modeled
+  };
+
+  /// Registers (first call) and returns the profiling handles for every
+  /// plan layer. Requires a plan and opts_.telemetry.
+  const std::vector<KernelMetrics>& KernelMetricsHandles();
+
   ModelDesc model_;
   EngineOptions opts_;
   GpuSpec spec_;
@@ -201,6 +242,7 @@ class Engine {
   std::vector<std::vector<float>> streams_;
   Matrix<float> gemm_input_scratch_;
   Tensor4 conv_input_scratch_;
+  std::vector<KernelMetrics> kernel_metrics_;  // empty until first use
 };
 
 }  // namespace runtime

@@ -82,5 +82,20 @@ void FaultInjector::OnPack() {
   }
 }
 
+void FaultInjector::PublishMetrics(obs::Registry& reg) const {
+  reg.GetGauge("shflbw_fault_launches", "Kernel launches the injector saw")
+      .Set(static_cast<double>(launches()));
+  reg.GetGauge("shflbw_fault_launch_failures",
+               "Transient launch failures injected")
+      .Set(static_cast<double>(launch_failures()));
+  reg.GetGauge("shflbw_fault_launch_delays", "Launch delays injected")
+      .Set(static_cast<double>(launch_delays()));
+  reg.GetGauge("shflbw_fault_packs", "Weight packs the injector saw")
+      .Set(static_cast<double>(packs()));
+  reg.GetGauge("shflbw_fault_pack_failures",
+               "Transient pack failures injected")
+      .Set(static_cast<double>(pack_failures()));
+}
+
 }  // namespace runtime
 }  // namespace shflbw

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace shflbw {
 namespace runtime {
@@ -69,6 +70,11 @@ class FaultInjector {
   std::uint64_t packs() const { return packs_.load(); }
   std::uint64_t pack_failures() const { return pack_failures_.load(); }
   std::uint64_t total_failures() const { return failures_spent_.load(); }
+
+  /// Snapshots the injector's counters into `reg` as gauges
+  /// (shflbw_fault_* family). Called by BatchServer::MetricsText so a
+  /// chaos run's Prometheus dump carries the injection ledger.
+  void PublishMetrics(obs::Registry& reg) const;
 
   const FaultInjectorOptions& options() const { return opts_; }
 

@@ -3,14 +3,25 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "quality/quality_planner.h"
 
 namespace shflbw {
 namespace runtime {
+namespace {
+
+/// Registry counters hold doubles (exact for integer counts to 2^53);
+/// ServerStats speaks uint64.
+std::uint64_t AsCount(const obs::Counter* c) {
+  return static_cast<std::uint64_t>(std::llround(c->Value()));
+}
+
+}  // namespace
 
 void ValidateServerOptions(const ServerOptions& opts) {
   SHFLBW_CHECK_MSG(opts.replicas >= 1,
@@ -86,12 +97,18 @@ void ValidateServerOptions(const ServerOptions& opts) {
 }
 
 BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
-    : opts_(std::move(opts)), cache_(std::make_shared<PackedWeightCache>()) {
+    : opts_(std::move(opts)),
+      telemetry_(std::make_shared<obs::Telemetry>(opts_.telemetry)),
+      cache_(std::make_shared<PackedWeightCache>()) {
   ValidateServerOptions(opts_);
   // Autotune re-ranks plans by wall-clock measurement; replicas could
   // diverge onto different plans, breaking both cache sharing and the
   // bit-identical guarantee. Force the deterministic planner.
   opts_.engine.planner.autotune = false;
+  // Every engine shares the server's telemetry, so kernel spans and
+  // profiling rows from fused launches land in the same trace /
+  // registry as the serving-side spans and counters.
+  opts_.engine.telemetry = telemetry_;
 
   // Expand the quality ladder into one PlannerOptions per level. No
   // ladder = one level with the caller's planner options untouched
@@ -135,8 +152,7 @@ BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
       level_ratios_.push_back(plan.MinRetainedRatio());
     }
   }
-  per_replica_.assign(engines_.size(), 0);
-  per_level_.assign(static_cast<std::size_t>(levels), 0);
+  RegisterMetrics();
   admission_ = AdmissionController(opts_.admission, opts_.replicas);
   controller_ = DegradationController(opts_.degradation, levels);
 
@@ -144,6 +160,57 @@ BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
   for (int r = 0; r < static_cast<int>(engines_.size()); ++r) {
     threads_.emplace_back([this, r] { ReplicaLoop(r); });
   }
+}
+
+void BatchServer::RegisterMetrics() {
+  obs::Registry& reg = telemetry_->registry();
+  c_submitted_ = &reg.GetCounter("shflbw_requests_submitted_total",
+                                 "Requests admitted to the queue");
+  c_completed_ = &reg.GetCounter("shflbw_requests_completed_total",
+                                 "Requests resolved by a launch (ok or "
+                                 "error)");
+  c_shed_ = &reg.GetCounter("shflbw_requests_shed_total",
+                            "Deadline-expired requests dropped at seal");
+  c_rejected_queue_full_ =
+      &reg.GetCounter("shflbw_requests_rejected_total{reason=\"queue_full\"}",
+                      "Requests rejected at admission");
+  c_rejected_deadline_ =
+      &reg.GetCounter("shflbw_requests_rejected_total{reason=\"deadline\"}");
+  c_rejected_shutdown_ =
+      &reg.GetCounter("shflbw_requests_rejected_total{reason=\"shutdown\"}");
+  c_retries_ = &reg.GetCounter("shflbw_launch_retries_total",
+                               "Transient-fault retries across all batches");
+  c_failed_ = &reg.GetCounter("shflbw_requests_failed_total",
+                              "Requests resolved with an exception");
+  c_per_replica_.reserve(engines_.size());
+  for (std::size_t r = 0; r < engines_.size(); ++r) {
+    c_per_replica_.push_back(&reg.GetCounter(
+        "shflbw_replica_completed_total{replica=\"" + std::to_string(r) +
+            "\"}",
+        "Requests completed, by replica"));
+  }
+  c_per_level_.reserve(engines_.front().size());
+  for (std::size_t l = 0; l < engines_.front().size(); ++l) {
+    c_per_level_.push_back(&reg.GetCounter(
+        "shflbw_level_completed_total{level=\"" + std::to_string(l) + "\"}",
+        "Requests completed, by ladder level"));
+  }
+  h_queue_seconds_ = &reg.GetHistogram(
+      "shflbw_request_queue_seconds",
+      "Submit -> batch seal, including the coalesce window");
+  h_retry_seconds_ = &reg.GetHistogram(
+      "shflbw_request_retry_seconds",
+      "Retry overhead of faulted launches: failed attempts + backoff");
+  h_run_seconds_ = &reg.GetHistogram("shflbw_request_run_seconds",
+                                     "Final fused launch wall-clock");
+  h_total_seconds_ = &reg.GetHistogram("shflbw_request_total_seconds",
+                                       "Submit -> completion");
+  h_batch_width_ = &reg.GetHistogram(
+      "shflbw_batch_width", "Requests fused per launch", /*min_value=*/1.0);
+  g_queue_depth_ = &reg.GetGauge("shflbw_queue_depth",
+                                 "Requests admitted but not yet dispatched");
+  g_level_ = &reg.GetGauge("shflbw_ladder_level",
+                           "Degradation controller's current level");
 }
 
 BatchServer::~BatchServer() { Shutdown(); }
@@ -202,26 +269,47 @@ std::future<Response> BatchServer::Enqueue(Request req, int force_level) {
   p.force_level = force_level;
   std::future<Response> fut = p.promise.get_future();
   queue_.push_back(std::move(p));
+  c_submitted_->Add();
+  g_queue_depth_->Set(static_cast<double>(queue_.size()));
   return fut;
 }
 
+void BatchServer::TraceAdmission(double begin, std::uint64_t id,
+                                 SubmitStatus verdict) {
+  if (!telemetry_->tracing_on()) return;
+  obs::TraceEvent ev;
+  ev.kind = obs::SpanKind::kAdmission;
+  ev.begin_seconds = begin;
+  ev.end_seconds = NowSeconds();
+  ev.request_id = id;
+  ev.detail = static_cast<std::int32_t>(verdict);
+  ev.SetLabel(SubmitStatusName(verdict));
+  telemetry_->trace().Record(ev);
+}
+
 SubmitStatus BatchServer::Submit(Request req, std::future<Response>* out) {
+  const double begin = NowSeconds();
   std::unique_lock<std::mutex> lock(mu_);
   const std::size_t cap = admission_.CapacityFor(req.qos, opts_.queue_capacity);
   not_full_.wait(lock, [&] { return stop_ || queue_.size() < cap; });
   if (stop_) {
     // Includes producers that were blocked on a full queue when
     // Shutdown ran: they wake here with a typed rejection, never hang.
-    ++rejected_shutdown_;
+    c_rejected_shutdown_->Add();
+    TraceAdmission(begin, obs::kNoId, SubmitStatus::kRejectedShutdown);
     return SubmitStatus::kRejectedShutdown;
   }
   if (!admission_.DeadlineFeasible(req.qos, req.deadline_seconds,
                                    queue_.size())) {
-    ++rejected_deadline_;
+    c_rejected_deadline_->Add();
+    TraceAdmission(begin, obs::kNoId,
+                   SubmitStatus::kRejectedInfeasibleDeadline);
     return SubmitStatus::kRejectedInfeasibleDeadline;
   }
   *out = Enqueue(req, /*force_level=*/-1);
+  const std::uint64_t id = next_id_ - 1;
   lock.unlock();
+  TraceAdmission(begin, id, SubmitStatus::kAccepted);
   not_empty_.notify_one();
   return SubmitStatus::kAccepted;
 }
@@ -236,31 +324,35 @@ std::future<Response> BatchServer::Submit(Request req) {
 }
 
 SubmitStatus BatchServer::TrySubmit(Request req, std::future<Response>* out) {
+  const double begin = NowSeconds();
+  std::uint64_t id = obs::kNoId;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
-      ++rejected_shutdown_;
+      c_rejected_shutdown_->Add();
+      TraceAdmission(begin, obs::kNoId, SubmitStatus::kRejectedShutdown);
       return SubmitStatus::kRejectedShutdown;
     }
     const std::size_t cap =
         admission_.CapacityFor(req.qos, opts_.queue_capacity);
     if (queue_.size() >= cap) {
-      ++rejected_queue_full_;
+      c_rejected_queue_full_->Add();
+      TraceAdmission(begin, obs::kNoId, SubmitStatus::kRejectedQueueFull);
       return SubmitStatus::kRejectedQueueFull;
     }
     if (!admission_.DeadlineFeasible(req.qos, req.deadline_seconds,
                                      queue_.size())) {
-      ++rejected_deadline_;
+      c_rejected_deadline_->Add();
+      TraceAdmission(begin, obs::kNoId,
+                     SubmitStatus::kRejectedInfeasibleDeadline);
       return SubmitStatus::kRejectedInfeasibleDeadline;
     }
     *out = Enqueue(req, /*force_level=*/-1);
+    id = next_id_ - 1;
   }
+  TraceAdmission(begin, id, SubmitStatus::kAccepted);
   not_empty_.notify_one();
   return SubmitStatus::kAccepted;
-}
-
-bool BatchServer::TrySubmitLegacy(Request req, std::future<Response>* out) {
-  return TrySubmit(req, out) == SubmitStatus::kAccepted;
 }
 
 std::future<Response> BatchServer::SubmitInternal(Request req,
@@ -307,17 +399,24 @@ void BatchServer::Shutdown() {
 
 ServerStats BatchServer::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot view over the registry: every counter here is only ever
+  // incremented under mu_, so reading them under mu_ yields the same
+  // exact values the old member counters did.
   ServerStats s;
   s.submitted = next_id_;
   s.completed = completed_;
   s.shed = shed_;
-  s.rejected_queue_full = rejected_queue_full_;
-  s.rejected_deadline = rejected_deadline_;
-  s.rejected_shutdown = rejected_shutdown_;
-  s.retries = retries_;
-  s.failed = failed_;
-  s.per_replica = per_replica_;
-  s.per_level = per_level_;
+  s.rejected_queue_full = AsCount(c_rejected_queue_full_);
+  s.rejected_deadline = AsCount(c_rejected_deadline_);
+  s.rejected_shutdown = AsCount(c_rejected_shutdown_);
+  s.retries = AsCount(c_retries_);
+  s.failed = AsCount(c_failed_);
+  s.per_replica.reserve(c_per_replica_.size());
+  for (const obs::Counter* c : c_per_replica_) {
+    s.per_replica.push_back(AsCount(c));
+  }
+  s.per_level.reserve(c_per_level_.size());
+  for (const obs::Counter* c : c_per_level_) s.per_level.push_back(AsCount(c));
   s.level = controller_.level();
   s.downshifts = controller_.downshifts();
   s.upshifts = controller_.upshifts();
@@ -325,10 +424,43 @@ ServerStats BatchServer::Stats() const {
   return s;
 }
 
+std::string BatchServer::MetricsText() const {
+  obs::Registry& reg = telemetry_->registry();
+  // Refresh the point-in-time gauges the hot path doesn't maintain.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    g_queue_depth_->Set(static_cast<double>(queue_.size()));
+    g_level_->Set(controller_.level());
+    reg.GetGauge("shflbw_ladder_downshifts", "Degradation downshifts")
+        .Set(static_cast<double>(controller_.downshifts()));
+    reg.GetGauge("shflbw_ladder_upshifts", "Degradation upshifts")
+        .Set(static_cast<double>(controller_.upshifts()));
+    reg.GetGauge("shflbw_admission_estimated_service_seconds",
+                 "Admission controller's per-request service EWMA")
+        .Set(admission_.EstimatedServiceSeconds());
+  }
+  const PoolStats pool = GetPoolStats();
+  reg.GetGauge("shflbw_pool_workers", "Worker-pool threads spawned")
+      .Set(pool.workers);
+  reg.GetGauge("shflbw_pool_active_regions",
+               "ParallelFor regions currently executing")
+      .Set(pool.active_regions);
+  reg.GetGauge("shflbw_pool_regions_total",
+               "Parallel regions run since process start")
+      .Set(static_cast<double>(pool.regions_entered));
+  if (const auto& fi = opts_.engine.fault_injector) fi->PublishMetrics(reg);
+  return reg.ExpositionText();
+}
+
+bool BatchServer::DumpTrace(const std::string& path) const {
+  return telemetry_->trace().DumpChromeTrace(path);
+}
+
 void BatchServer::ReplicaLoop(int replica) {
   auto& level_engines = engines_[static_cast<std::size_t>(replica)];
   const std::size_t max_batch =
       static_cast<std::size_t>(std::max(1, opts_.max_batch));
+  const bool metrics = telemetry_->metrics_on();
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
@@ -347,8 +479,11 @@ void BatchServer::ReplicaLoop(int replica) {
     // re-loop rather than assume work remains. Forced (warmup)
     // requests skip the window: they run alone, immediately.
     const std::size_t seal = std::min(max_batch, opts_.queue_capacity);
+    const double window_start = NowSeconds();
+    bool windowed = false;
     if (opts_.coalesce_window_seconds > 0 && !stop_ &&
         queue_.front().force_level < 0 && queue_.size() < seal) {
+      windowed = true;
       not_empty_.wait_for(
           lock,
           std::chrono::duration<double>(opts_.coalesce_window_seconds),
@@ -389,12 +524,55 @@ void BatchServer::ReplicaLoop(int replica) {
       level = controller_.OnSeal(depth_at_seal, opts_.queue_capacity);
     }
     const std::size_t take = batch.size();
+    const std::uint64_t batch_id = next_batch_id_++;
+    g_queue_depth_->Set(static_cast<double>(queue_.size()));
+    g_level_->Set(controller_.level());
     lock.unlock();
     // Freed slots: wake every blocked Submit, not just one.
     if (take + dropped.size() > 1) {
       not_full_.notify_all();
     } else {
       not_full_.notify_one();
+    }
+
+    const bool tracing = telemetry_->tracing_on();
+    if (tracing) {
+      // Queue spans of everything this seal consumed, a coalesce span
+      // when the replica actually held the window open, and a shed
+      // span per deadline-expired drop.
+      obs::TraceEvent base;
+      base.batch_id = batch_id;
+      base.replica = replica;
+      base.level = level;
+      if (windowed) {
+        obs::TraceEvent ev = base;
+        ev.kind = obs::SpanKind::kCoalesce;
+        ev.begin_seconds = window_start;
+        ev.end_seconds = seal_time;
+        ev.width = static_cast<std::int32_t>(take);
+        telemetry_->trace().Record(ev);
+      }
+      for (const Pending& p : batch) {
+        obs::TraceEvent ev = base;
+        ev.kind = obs::SpanKind::kQueue;
+        ev.begin_seconds = p.submit_time;
+        ev.end_seconds = seal_time;
+        ev.request_id = p.id;
+        telemetry_->trace().Record(ev);
+      }
+      for (const Pending& p : dropped) {
+        obs::TraceEvent ev = base;
+        ev.kind = obs::SpanKind::kQueue;
+        ev.begin_seconds = p.submit_time;
+        ev.end_seconds = seal_time;
+        ev.request_id = p.id;
+        telemetry_->trace().Record(ev);
+        ev.kind = obs::SpanKind::kShed;
+        ev.begin_seconds = seal_time;
+        ev.end_seconds = NowSeconds();
+        ev.detail = 1;
+        telemetry_->trace().Record(ev);
+      }
     }
 
     // Resolve shed promises before the counters are bumped under
@@ -407,12 +585,14 @@ void BatchServer::ReplicaLoop(int replica) {
       resp.batch_width = 0;
       resp.plan_level = level;
       resp.queue_seconds = seal_time - p.submit_time;
+      if (metrics) h_queue_seconds_->Record(resp.queue_seconds);
       p.promise.set_value(std::move(resp));
     }
 
     if (batch.empty()) {
       lock.lock();
       shed_ += dropped.size();
+      c_shed_->Add(static_cast<double>(dropped.size()));
       if (completed_ + shed_ == next_id_) idle_.notify_all();
       continue;
     }
@@ -426,9 +606,18 @@ void BatchServer::ReplicaLoop(int replica) {
     std::vector<std::uint64_t> seeds;
     seeds.reserve(take);
     for (const Pending& p : batch) seeds.push_back(p.req.activation_seed);
+    BatchContext ctx;
+    ctx.batch_id = batch_id;
+    ctx.replica = replica;
+    ctx.level = level;
     int attempts = 0;
     bool batch_failed = false;
     double done = dispatch_time;
+    // Start of the attempt that ultimately succeeds: everything before
+    // it (failed attempts + backoff sleeps) is retry overhead, reported
+    // separately so queue + retry + run == submit-to-completion exactly
+    // even for retried launches.
+    double final_attempt_start = dispatch_time;
     try {
       // Bounded retry-with-backoff on transient faults (injected or
       // backend-raised). A failed launch leaves the cache and the
@@ -439,10 +628,11 @@ void BatchServer::ReplicaLoop(int replica) {
       BatchRunResult run;
       for (;;) {
         try {
-          run = engine.RunBatched(seeds);
+          run = engine.RunBatched(seeds, ctx);
           break;
         } catch (const TransientFault&) {
           if (attempts >= opts_.retry.max_retries) throw;
+          const double fail_time = NowSeconds();
           const double backoff =
               opts_.retry.backoff_seconds *
               std::pow(opts_.retry.backoff_multiplier, attempts);
@@ -451,9 +641,29 @@ void BatchServer::ReplicaLoop(int replica) {
                 std::chrono::duration<double>(backoff));
           }
           ++attempts;
+          final_attempt_start = NowSeconds();
+          if (tracing) {
+            obs::TraceEvent ev;
+            ev.kind = obs::SpanKind::kRetry;
+            ev.begin_seconds = fail_time;
+            ev.end_seconds = final_attempt_start;
+            ev.batch_id = batch_id;
+            ev.replica = replica;
+            ev.level = level;
+            ev.width = static_cast<std::int32_t>(take);
+            ev.attempt = attempts;
+            telemetry_->trace().Record(ev);
+          }
         }
       }
       done = NowSeconds();
+      const double retry_s = final_attempt_start - dispatch_time;
+      const double run_s = done - final_attempt_start;
+      if (metrics) {
+        h_batch_width_->Record(static_cast<double>(take));
+        h_run_seconds_->Record(run_s);
+        if (attempts > 0) h_retry_seconds_->Record(retry_s);
+      }
       for (std::size_t i = 0; i < take; ++i) {
         Pending& p = batch[i];
         Response resp;
@@ -464,9 +674,27 @@ void BatchServer::ReplicaLoop(int replica) {
         resp.retained_ratio = level_ratios_[static_cast<std::size_t>(level)];
         resp.retries = attempts;
         resp.queue_seconds = dispatch_time - p.submit_time;
-        resp.run_seconds = done - dispatch_time;
+        resp.retry_seconds = retry_s;
+        resp.run_seconds = run_s;
         resp.packs_performed = run.packs_performed;
         resp.output = std::move(run.outputs[i]);
+        if (metrics) {
+          h_queue_seconds_->Record(resp.queue_seconds);
+          h_total_seconds_->Record(done - p.submit_time);
+        }
+        if (tracing) {
+          obs::TraceEvent ev;
+          ev.kind = obs::SpanKind::kRun;
+          ev.begin_seconds = dispatch_time;
+          ev.end_seconds = done;
+          ev.request_id = p.id;
+          ev.batch_id = batch_id;
+          ev.replica = replica;
+          ev.level = level;
+          ev.width = static_cast<std::int32_t>(take);
+          ev.retries = attempts;
+          telemetry_->trace().Record(ev);
+        }
         p.promise.set_value(std::move(resp));
       }
     } catch (...) {
@@ -479,14 +707,19 @@ void BatchServer::ReplicaLoop(int replica) {
 
     lock.lock();
     // Retire the whole batch (served and shed together) under one lock
-    // hold, atomically with the idle_ notification Drain waits on.
+    // hold, atomically with the idle_ notification Drain waits on. The
+    // protocol counters and their registry mirrors move together.
     completed_ += take;
     shed_ += dropped.size();
-    retries_ += static_cast<std::uint64_t>(attempts);
-    per_replica_[static_cast<std::size_t>(replica)] += take;
-    per_level_[static_cast<std::size_t>(level)] += take;
+    c_completed_->Add(static_cast<double>(take));
+    if (!dropped.empty()) c_shed_->Add(static_cast<double>(dropped.size()));
+    if (attempts > 0) c_retries_->Add(attempts);
+    c_per_replica_[static_cast<std::size_t>(replica)]->Add(
+        static_cast<double>(take));
+    c_per_level_[static_cast<std::size_t>(level)]->Add(
+        static_cast<double>(take));
     if (batch_failed) {
-      failed_ += take;
+      c_failed_->Add(static_cast<double>(take));
     } else {
       // Feed the control plane: the admission EWMA learns per-request
       // service time from the fused launch (one observation per

@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "runtime/admission.h"
 #include "runtime/engine.h"
 #include "runtime/fault_injection.h"
@@ -88,6 +89,13 @@ struct ServerOptions {
   /// Bounded retry-with-backoff for TransientFault from the engine
   /// (injected or backend-raised) inside the scheduler loop.
   RetryPolicy retry;
+  /// Telemetry switches (obs/telemetry.h): latency histograms + kernel
+  /// profiling (metrics, on by default) and per-request span tracing
+  /// (tracing, off by default). The server builds one obs::Telemetry
+  /// from these and shares it with every engine replica, so serving
+  /// spans and kernel spans land in one trace and ServerStats,
+  /// MetricsText() and DumpTrace() all read the same sink.
+  obs::TelemetryOptions telemetry;
 };
 
 /// Validates `opts` (replicas >= 1, queue_capacity >= 1, max_batch >=
@@ -135,16 +143,27 @@ struct Response {
   Matrix<float> output;    // final layer output (bit-identical to serial)
   /// Latency split. queue_seconds stops at coalesce time (when the
   /// replica seals the batch this request joined — including any
-  /// coalesce-window wait) and run_seconds covers the fused launch, so
-  /// queue_seconds + run_seconds == submit-to-completion for every
-  /// request, fused or not.
+  /// coalesce-window wait), retry_seconds covers the retry overhead of
+  /// a faulted launch (failed attempts plus backoff sleeps — 0 on the
+  /// common unfaulted path), and run_seconds covers the final
+  /// (successful) fused launch only. The split is exact:
+  /// queue_seconds + retry_seconds + run_seconds == submit-to-
+  /// completion for every request, fused, retried or not.
   double queue_seconds = 0;  // submit -> batch sealed (dispatch)
-  double run_seconds = 0;    // dispatch -> completion (fused RunBatched)
+  double retry_seconds = 0;  // dispatch -> final attempt start
+  double run_seconds = 0;    // final attempt start -> completion
   /// Conversions the serving launch triggered (shared by every request
   /// in the fused batch; 0 in the warmed steady state).
   std::size_t packs_performed = 0;
 };
 
+/// Point-in-time server statistics. Since the telemetry subsystem this
+/// is a SNAPSHOT VIEW composed by Stats() from the metrics registry
+/// (obs/metrics.h) plus the server's protocol counters — the struct is
+/// kept so call sites and tests keep compiling; the registry (and its
+/// Prometheus exposition, BatchServer::MetricsText) is the source of
+/// truth and carries strictly more: latency histograms, per-kernel
+/// profiling rows, planned-vs-measured drift.
 struct ServerStats {
   std::uint64_t submitted = 0;  // admitted to the queue
   std::uint64_t completed = 0;  // resolved by a launch (ok or error)
@@ -218,13 +237,6 @@ class BatchServer {
   /// kRejectedQueueFull instead of waiting for space.
   SubmitStatus TrySubmit(Request req, std::future<Response>* out);
 
-  /// Deprecated bool shim for the pre-SubmitStatus API: true ==
-  /// kAccepted, false == any rejection (the statuses this collapses are
-  /// exactly why it is deprecated). Removed one release after
-  /// SubmitStatus.
-  [[deprecated("use the SubmitStatus-returning TrySubmit")]]
-  bool TrySubmitLegacy(Request req, std::future<Response>* out);
-
   /// Blocks until the server is idle: completed + shed == submitted,
   /// checked (and re-checked after every wakeup) under the queue mutex,
   /// so a submit landing while Drain is blocked can never slip between
@@ -244,6 +256,23 @@ class BatchServer {
   const ServerOptions& options() const { return opts_; }
   const PackedWeightCache& cache() const { return *cache_; }
 
+  /// The server's telemetry sink: the metrics registry every counter /
+  /// histogram / profiling row lives in, and the span trace recorder.
+  /// Shared with every engine replica.
+  obs::Telemetry& telemetry() const { return *telemetry_; }
+
+  /// Prometheus text exposition of the whole registry, with the
+  /// point-in-time gauges (queue depth, ladder level, worker-pool
+  /// state, admission estimate) refreshed first. Safe while serving.
+  std::string MetricsText() const;
+
+  /// Writes the recorded span trace as Chrome trace-event JSON —
+  /// loadable at ui.perfetto.dev or chrome://tracing. Call after
+  /// Drain() for a complete picture (recording is safe concurrently,
+  /// but in-flight requests have unpublished spans). False when the
+  /// path cannot be opened or tracing is compiled out.
+  bool DumpTrace(const std::string& path) const;
+
  private:
   struct Pending {
     Request req;
@@ -260,7 +289,16 @@ class BatchServer {
   std::future<Response> SubmitInternal(Request req, int force_level);
   void ReplicaLoop(int replica);
 
+  /// Registers the serving-side metric handles (counters, histograms,
+  /// gauges) in telemetry_'s registry; constructor-only.
+  void RegisterMetrics();
+
+  /// Records an admission span (begin -> now) when tracing is on.
+  /// `id` is kNoId on rejections (no id was assigned).
+  void TraceAdmission(double begin, std::uint64_t id, SubmitStatus verdict);
+
   ServerOptions opts_;
+  std::shared_ptr<obs::Telemetry> telemetry_;
   std::shared_ptr<PackedWeightCache> cache_;
   /// engines_[replica][level]: each replica owns one engine per ladder
   /// level (plans differ; packed weights are shared through cache_).
@@ -275,16 +313,34 @@ class BatchServer {
   std::condition_variable idle_;       // Drain waits for completed==submitted
   std::deque<Pending> queue_;
   bool stop_ = false;
+  /// Protocol counters: the cv predicates (Drain's idle condition, the
+  /// conservation law) need exact values read under mu_, so these stay
+  /// plain members; they are mirrored into registry counters at the
+  /// same increment sites (one relaxed add each, already under mu_).
   std::uint64_t next_id_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t shed_ = 0;
-  std::uint64_t rejected_queue_full_ = 0;
-  std::uint64_t rejected_deadline_ = 0;
-  std::uint64_t rejected_shutdown_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t failed_ = 0;
-  std::vector<std::uint64_t> per_replica_;
-  std::vector<std::uint64_t> per_level_;
+  std::uint64_t next_batch_id_ = 0;  // seal order, for span correlation
+  /// Cached registry handles; every non-protocol stat lives only in the
+  /// registry now (Stats() reads it back). All increments happen under
+  /// mu_, so Stats() — which also holds mu_ — sees exact values.
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_shed_ = nullptr;
+  obs::Counter* c_rejected_queue_full_ = nullptr;
+  obs::Counter* c_rejected_deadline_ = nullptr;
+  obs::Counter* c_rejected_shutdown_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
+  std::vector<obs::Counter*> c_per_replica_;  // completed, by replica
+  std::vector<obs::Counter*> c_per_level_;    // completed, by plan level
+  obs::Histogram* h_queue_seconds_ = nullptr;
+  obs::Histogram* h_retry_seconds_ = nullptr;
+  obs::Histogram* h_run_seconds_ = nullptr;
+  obs::Histogram* h_total_seconds_ = nullptr;
+  obs::Histogram* h_batch_width_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_level_ = nullptr;
   AdmissionController admission_;     // guarded by mu_
   DegradationController controller_;  // guarded by mu_
 

@@ -506,7 +506,10 @@ TEST(BatchServer, DrainIsCorrectConcurrentWithDeadlineSheds) {
   }
 }
 
-TEST(BatchServer, LegacyBoolShimStillWorks) {
+// The typed TrySubmit is the only non-blocking submit path (the old
+// bool shim is gone): an uncontended submit is kAccepted and the
+// future resolves with real output.
+TEST(BatchServer, TypedTrySubmitAccepts) {
   ThreadGuard guard;
   SetParallelThreads(1);
   ServerOptions opts;
@@ -514,14 +517,7 @@ TEST(BatchServer, LegacyBoolShimStillWorks) {
   opts.engine = SmallOptions();
   BatchServer server(SmallTransformer(), opts);
   std::future<Response> fut;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  EXPECT_TRUE(server.TrySubmitLegacy(Request{}, &fut));
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+  EXPECT_EQ(server.TrySubmit(Request{}, &fut), SubmitStatus::kAccepted);
   EXPECT_GT(fut.get().output.size(), 0u);
 }
 

@@ -2,6 +2,9 @@
 // conversions), bit-identical outputs at 1/2/8 threads, deterministic
 // results across engine instances, and end-to-end execution of all
 // three evaluation models.
+#include <memory>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
@@ -126,6 +129,45 @@ TEST(Engine, AutotunePacksAtPlanTimeAndKeepsRunsCacheOnly) {
 // candidates, the plan summary must still only report genuinely
 // measured winners — a candidate skipped by feasibility rules keeps
 // measured_s == 0 and can never surface as an "autotuned" choice.
+// With a telemetry sink attached, every plan layer publishes its
+// planned-vs-measured drift after a run: modeled seconds are set at
+// plan registration, measured seconds and the drift ratio after the
+// first launch. One gauge per plan layer, all strictly positive.
+// Kernel profiling compiles out entirely at SHFLBW_OBS=0.
+#if SHFLBW_OBS
+TEST(Engine, KernelProfilingPublishesDriftPerPlanLayer) {
+  ThreadGuard guard;
+  SetParallelThreads(1);
+  EngineOptions opts = SmallOptions();
+  opts.telemetry = std::make_shared<obs::Telemetry>(obs::TelemetryOptions{});
+  Engine engine(SmallTransformer(), opts);
+  (void)engine.Run();
+
+  obs::Registry& reg = opts.telemetry->registry();
+  std::size_t drift_rows = 0;
+  for (const std::string& name : reg.Names()) {
+    if (name.rfind("shflbw_plan_drift_ratio{", 0) != 0) continue;
+    ++drift_rows;
+    const obs::Gauge* drift = reg.FindGauge(name);
+    ASSERT_NE(drift, nullptr) << name;
+    EXPECT_GT(drift->Value(), 0.0) << name;
+  }
+  EXPECT_EQ(drift_rows, engine.Plan().layers.size());
+  // The companion rows follow the same keying, so modeled and measured
+  // seconds for each layer line up with its drift gauge.
+  for (const std::string& name : reg.Names()) {
+    if (name.rfind("shflbw_plan_drift_ratio{", 0) != 0) continue;
+    const std::string key = name.substr(std::string("shflbw_plan_drift_ratio").size());
+    const obs::Gauge* modeled = reg.FindGauge("shflbw_plan_modeled_seconds" + key);
+    const obs::Gauge* measured = reg.FindGauge("shflbw_plan_measured_seconds" + key);
+    ASSERT_NE(modeled, nullptr) << key;
+    ASSERT_NE(measured, nullptr) << key;
+    EXPECT_GT(modeled->Value(), 0.0);
+    EXPECT_GT(measured->Value(), 0.0);
+  }
+}
+#endif  // SHFLBW_OBS
+
 TEST(Engine, AutotuneReportsOnlyGenuinelyMeasuredWinners) {
   EngineOptions opts = SmallOptions();
   opts.planner.autotune = true;

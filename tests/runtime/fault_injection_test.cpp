@@ -202,6 +202,16 @@ TEST(BatchServer, RetryWithBackoffRecoversAllRequestsBitIdentically) {
     Response resp = futures[static_cast<std::size_t>(i)].get();
     EXPECT_EQ(resp.status, ResponseStatus::kOk);
     EXPECT_GE(resp.retries, 0);
+    // Retry accounting: retry_seconds carries the failed attempts +
+    // backoff of a retried launch (and only then), run_seconds covers
+    // just the final successful attempt, so the split sums exactly —
+    // retried or not.
+    if (resp.retries > 0) {
+      EXPECT_GT(resp.retry_seconds, 0.0) << "request " << i;
+    } else {
+      EXPECT_EQ(resp.retry_seconds, 0.0) << "request " << i;
+    }
+    EXPECT_GT(resp.run_seconds, 0.0);
     const std::uint64_t seed = 0x9000u + static_cast<std::uint64_t>(i);
     ASSERT_EQ(resp.output, ref.at(seed)) << "request " << i;
   }

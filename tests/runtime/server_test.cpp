@@ -335,8 +335,8 @@ TEST(BatchServer, DrainNeverReturnsEarlyUnderConcurrentSubmits) {
 
 // The latency split must keep summing to submit-to-completion when
 // requests are coalesced: queue_seconds stops at coalesce (batch-seal)
-// time — including any coalescing-window wait — and run_seconds covers
-// the fused launch.
+// time — including any coalescing-window wait — retry_seconds is 0 on
+// this unfaulted path, and run_seconds covers the fused launch.
 TEST(BatchServer, CoalescedLatencySplitSumsToSubmitToCompletion) {
   ThreadGuard guard;
   SetParallelThreads(2);
@@ -355,11 +355,13 @@ TEST(BatchServer, CoalescedLatencySplitSumsToSubmitToCompletion) {
     Response resp = f.get();
     const double elapsed = NowSeconds() - t_submit;
     EXPECT_GE(resp.queue_seconds, 0.0);
+    EXPECT_EQ(resp.retry_seconds, 0.0);  // no faults injected
     EXPECT_GT(resp.run_seconds, 0.0);
-    // queue + run covers exactly submit -> completion, so it can never
-    // exceed the externally observed submit -> get() span (get() adds
-    // only wakeup latency on top).
-    EXPECT_LE(resp.queue_seconds + resp.run_seconds, elapsed + 1e-3);
+    // queue + retry + run covers exactly submit -> completion, so it
+    // can never exceed the externally observed submit -> get() span
+    // (get() adds only wakeup latency on top).
+    EXPECT_LE(resp.queue_seconds + resp.retry_seconds + resp.run_seconds,
+              elapsed + 1e-3);
   }
 }
 
