@@ -1,0 +1,57 @@
+# SHFLBW_SANITIZE: comma-separated sanitizer selection applied to every
+# target in the build (library, tests, benches, examples).
+#
+#   cmake -B build -S . -DSHFLBW_SANITIZE=thread
+#   cmake -B build -S . -DSHFLBW_SANITIZE=address,undefined
+#
+# Supported: thread | address | undefined (and the compatible combo
+# address,undefined). thread+address cannot coexist in one process —
+# both want the shadow-memory region — so that combination is rejected
+# at configure time instead of failing obscurely at link.
+#
+# CI uses this for the tsan-concurrency and asan-ubsan jobs; the flags
+# here replace the hand-rolled -fsanitize strings those jobs used to
+# carry, so local repro is exactly one cache variable.
+
+set(SHFLBW_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers: thread, address, undefined")
+
+if(NOT SHFLBW_SANITIZE)
+  return()
+endif()
+
+string(REPLACE "," ";" _san_list "${SHFLBW_SANITIZE}")
+set(_san_flags "")
+set(_has_thread FALSE)
+set(_has_address FALSE)
+
+foreach(_san ${_san_list})
+  string(STRIP "${_san}" _san)
+  if(_san STREQUAL "thread")
+    set(_has_thread TRUE)
+    list(APPEND _san_flags -fsanitize=thread)
+  elseif(_san STREQUAL "address")
+    set(_has_address TRUE)
+    list(APPEND _san_flags -fsanitize=address)
+  elseif(_san STREQUAL "undefined")
+    # Abort on the first report instead of recovering: a UB finding in
+    # CI must fail the job, not scroll past in the log.
+    list(APPEND _san_flags -fsanitize=undefined -fno-sanitize-recover=all)
+  else()
+    message(FATAL_ERROR
+      "SHFLBW_SANITIZE: unknown sanitizer '${_san}' "
+      "(expected thread, address, or undefined)")
+  endif()
+endforeach()
+
+if(_has_thread AND _has_address)
+  message(FATAL_ERROR
+    "SHFLBW_SANITIZE: thread and address sanitizers cannot be combined "
+    "in one binary; build them as separate configurations")
+endif()
+
+# -O1 keeps stacks honest in reports while staying fast enough for the
+# full suite; frame pointers make the traces readable.
+add_compile_options(${_san_flags} -O1 -g -fno-omit-frame-pointer)
+add_link_options(${_san_flags})
+message(STATUS "Sanitizers enabled: ${SHFLBW_SANITIZE}")

@@ -1,0 +1,79 @@
+# Configure-time assertions over Clang's thread-safety analysis.
+#
+# The annotation layer (src/common/thread_annotations.h) is only worth
+# anything while the analysis actually rejects broken code. Compilers
+# change, macros rot, and a single stray SHFLBW_NO_THREAD_SAFETY_ANALYSIS
+# in the wrong place can neuter a whole translation unit — so this
+# module try_compiles three deliberately-broken probes and FAILS THE
+# CONFIGURE if any of them is accepted:
+#
+#   probe_write_without_lock.cpp    write a GUARDED_BY field, no lock
+#   probe_requires_without_lock.cpp call a REQUIRES helper, no lock
+#   probe_double_acquire.cpp        lock the same Mutex twice in scope
+#
+# plus one positive control (probe_ok.cpp) that must COMPILE — it
+# proves the harness isn't rejecting everything for an unrelated
+# reason (bad include path, macro typo), which would make the three
+# failures above meaningless.
+#
+# Clang-only: GCC has no capability analysis, the macros expand to
+# nothing there, and every probe would "wrongly" compile. The CI job
+# `clang-thread-safety` runs this path on every push.
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(STATUS "Thread-safety probes: skipped (${CMAKE_CXX_COMPILER_ID} "
+                 "has no capability analysis; run with Clang to verify)")
+  return()
+endif()
+
+set(_probe_dir ${CMAKE_CURRENT_SOURCE_DIR}/tests/static)
+set(_probe_flags "-Wall -Werror=thread-safety -pthread")
+
+# Positive control: disciplined wrapper use must compile and link.
+try_compile(SHFLBW_PROBE_OK
+  ${CMAKE_BINARY_DIR}/thread_safety_probes/ok
+  ${_probe_dir}/probe_ok.cpp
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+    "-DCMAKE_CXX_FLAGS=${_probe_flags}"
+  CXX_STANDARD 20
+  CXX_STANDARD_REQUIRED ON
+  OUTPUT_VARIABLE _probe_ok_output)
+if(NOT SHFLBW_PROBE_OK)
+  message(FATAL_ERROR
+    "Thread-safety probe control FAILED: tests/static/probe_ok.cpp must "
+    "compile cleanly under -Werror=thread-safety but did not. The probe "
+    "harness (or thread_annotations.h itself) is broken.\n"
+    "Compiler output:\n${_probe_ok_output}")
+endif()
+
+# Negative probes: each must fail, and fail FOR THE RIGHT REASON — the
+# output has to mention thread-safety, or an unrelated compile error
+# (missing header, syntax rot) would masquerade as a passing probe.
+foreach(_probe write_without_lock requires_without_lock double_acquire)
+  try_compile(SHFLBW_PROBE_${_probe}
+    ${CMAKE_BINARY_DIR}/thread_safety_probes/${_probe}
+    ${_probe_dir}/probe_${_probe}.cpp
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_FLAGS=${_probe_flags}"
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE _probe_output)
+  if(SHFLBW_PROBE_${_probe})
+    message(FATAL_ERROR
+      "Thread-safety probe FAILED: tests/static/probe_${_probe}.cpp "
+      "compiled, but it violates the locking discipline and must be "
+      "rejected under -Werror=thread-safety. The annotation layer is no "
+      "longer protecting anything.")
+  endif()
+  if(NOT _probe_output MATCHES "thread-safety")
+    message(FATAL_ERROR
+      "Thread-safety probe probe_${_probe}.cpp failed to compile, but "
+      "not with a thread-safety diagnostic — an unrelated error is "
+      "masking the check.\nCompiler output:\n${_probe_output}")
+  endif()
+  message(STATUS "Thread-safety probe: probe_${_probe}.cpp correctly rejected")
+endforeach()
+
+message(STATUS "Thread-safety probes: all passed")

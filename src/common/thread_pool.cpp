@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace shflbw {
 namespace {
@@ -20,7 +20,10 @@ int HardwareThreads() {
 }
 
 int EnvThreads() {
-  const char* s = std::getenv("SHFLBW_NUM_THREADS");
+  // getenv without setenv anywhere in the process is benign; the
+  // NOLINT is for concurrency-mt-unsafe, which cannot see that no
+  // writer exists.
+  const char* s = std::getenv("SHFLBW_NUM_THREADS");  // NOLINT(concurrency-mt-unsafe)
   if (s == nullptr || *s == '\0') return 0;
   char* end = nullptr;
   const long v = std::strtol(s, &end, 10);
@@ -39,11 +42,14 @@ struct Job {
   std::int64_t chunks = 0;
   std::atomic<std::int64_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
-  /// Pool workers currently assigned to this job (guarded by the pool
-  /// mutex). The caller waits for it to reach zero before returning, so
-  /// no worker still references the stack-allocated Job afterwards.
+  Mutex error_mu;
+  std::exception_ptr error SHFLBW_GUARDED_BY(error_mu);
+  /// Pool workers currently assigned to this job. Guarded by the pool
+  /// mutex (WorkerPool::mu_ — not nameable from here, so no
+  /// SHFLBW_GUARDED_BY; every access site sits inside a WorkerPool
+  /// method that REQUIRES(mu_)). The caller waits for it to reach zero
+  /// before returning, so no worker still references the
+  /// stack-allocated Job afterwards.
   int attached = 0;
 
   void Drain() {
@@ -55,11 +61,18 @@ struct Job {
       try {
         (*fn)(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (!error) error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
       }
     }
+  }
+
+  /// First captured exception, if any. Called by ParallelFor after the
+  /// pool reports attached == 0 (so no worker is still writing).
+  std::exception_ptr TakeError() SHFLBW_EXCLUDES(error_mu) {
+    MutexLock lock(error_mu);
+    return error;
   }
 };
 
@@ -86,6 +99,11 @@ thread_local bool t_in_parallel_region = false;
 /// are short and frequent, so shares rebalance at the next region
 /// entry. A worker serves exactly one job at a time, which is what
 /// makes the partitions disjoint by construction.
+///
+/// Lock discipline: mu_ is rank kLockRankPool — the OUTERMOST rank —
+/// but is never held while a chunk executes (both the caller and the
+/// workers release it before Job::Drain), so kernel code runs
+/// lock-free and may touch any other subsystem.
 class WorkerPool {
  public:
   static WorkerPool& Instance() {
@@ -93,8 +111,8 @@ class WorkerPool {
     return pool;
   }
 
-  PoolStats Stats() {
-    std::lock_guard<std::mutex> lock(mu_);
+  PoolStats Stats() SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     PoolStats s;
     s.workers = static_cast<int>(workers_.size());
     s.active_regions = active_regions_;
@@ -106,9 +124,9 @@ class WorkerPool {
   /// calling thread; fewer (possibly zero) join when other regions hold
   /// part of the pool. Returns once every chunk has retired and no
   /// assigned worker still references `job`.
-  void Run(Job& job, int extra_workers) {
+  void Run(Job& job, int extra_workers) SHFLBW_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++active_regions_;
       ++regions_entered_;
       Grow(extra_workers);
@@ -123,11 +141,11 @@ class WorkerPool {
         }
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     t_in_parallel_region = true;
     job.Drain();
     t_in_parallel_region = false;
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueLock lock(mu_);
     // Reclaim workers that never woke up: their slot still points at
     // this job but `started` is false, so when they do wake the cleared
     // slot keeps them parked. The caller then only waits for workers
@@ -139,7 +157,7 @@ class WorkerPool {
         --job.attached;
       }
     }
-    done_cv_.wait(lock, [&] { return job.attached == 0; });
+    done_cv_.Wait(mu_, [&]() SHFLBW_REQUIRES(mu_) { return job.attached == 0; });
     --active_regions_;
   }
 
@@ -156,17 +174,17 @@ class WorkerPool {
 
   ~WorkerPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& th : workers_) th.join();
   }
 
   /// Spawns workers until `wanted` exist (never shrinks). Thread
   /// exhaustion degrades to however many workers spawned — the caller
   /// drains too, so the region still completes.
-  void Grow(int wanted) {
+  void Grow(int wanted) SHFLBW_REQUIRES(mu_) {
     while (static_cast<int>(workers_.size()) < wanted) {
       try {
         const int index = static_cast<int>(workers_.size());
@@ -179,31 +197,37 @@ class WorkerPool {
     }
   }
 
-  void WorkerLoop(int index) {
+  void WorkerLoop(int index) SHFLBW_EXCLUDES(mu_) {
     t_in_parallel_region = true;  // nested ParallelFor runs serially
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueLock lock(mu_);
     for (;;) {
-      cv_.wait(lock, [&] { return stop_ || slots_[index].job != nullptr; });
+      cv_.Wait(mu_, [&]() SHFLBW_REQUIRES(mu_) {
+        return stop_ || slots_[static_cast<std::size_t>(index)].job != nullptr;
+      });
       if (stop_) return;
-      Job* job = slots_[index].job;
-      slots_[index].started = true;
-      lock.unlock();
+      Job* job = slots_[static_cast<std::size_t>(index)].job;
+      slots_[static_cast<std::size_t>(index)].started = true;
+      lock.Unlock();
       job->Drain();
-      lock.lock();
-      slots_[index].job = nullptr;
-      slots_[index].started = false;
-      if (--job->attached == 0) done_cv_.notify_all();
+      lock.Lock();
+      slots_[static_cast<std::size_t>(index)].job = nullptr;
+      slots_[static_cast<std::size_t>(index)].started = false;
+      if (--job->attached == 0) done_cv_.NotifyAll();
     }
   }
 
-  std::mutex mu_;  // guards everything below
-  std::condition_variable cv_;       // workers wait for an assignment
-  std::condition_variable done_cv_;  // callers wait for attached == 0
-  std::vector<std::thread> workers_;
-  std::vector<Slot> slots_;  // slots_[i] belongs to workers_[i]
-  int active_regions_ = 0;   // concurrent Run calls, for the fair share
-  std::uint64_t regions_entered_ = 0;  // lifetime total, for PoolStats
-  bool stop_ = false;
+  /// Guards everything below; rank kLockRankPool (outermost — see the
+  /// order table in common/thread_annotations.h).
+  Mutex mu_{kLockRankPool};
+  CondVar cv_;       // workers wait for an assignment
+  CondVar done_cv_;  // callers wait for attached == 0
+  /// Joined only by the destructor (process exit, single-threaded);
+  /// grown under mu_.
+  std::vector<std::thread> workers_ SHFLBW_GUARDED_BY(mu_);
+  std::vector<Slot> slots_ SHFLBW_GUARDED_BY(mu_);  // slots_[i] is workers_[i]
+  int active_regions_ SHFLBW_GUARDED_BY(mu_) = 0;   // concurrent Run calls
+  std::uint64_t regions_entered_ SHFLBW_GUARDED_BY(mu_) = 0;  // lifetime total
+  bool stop_ SHFLBW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace
@@ -244,7 +268,10 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
   job.end = end;
   job.chunks = chunks;
   WorkerPool::Instance().Run(job, threads - 1);
-  if (job.error) std::rethrow_exception(job.error);
+  // Run() returned, so attached == 0 and no worker can still be
+  // writing; the lock inside TakeError orders this read after the
+  // failing worker's store.
+  if (std::exception_ptr err = job.TakeError()) std::rethrow_exception(err);
 }
 
 }  // namespace shflbw

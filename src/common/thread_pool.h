@@ -62,8 +62,10 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& fn);
 
 /// Point-in-time view of the process-wide worker pool, for telemetry
-/// (obs::Telemetry publishes these as gauges). Cheap — one mutex
-/// acquisition on the pool; safe to call at any time.
+/// (obs::Telemetry publishes these as gauges). Cheap — one acquisition
+/// of the pool mutex (rank kLockRankPool, the OUTERMOST rank; see
+/// common/thread_annotations.h for the global order); safe to call at
+/// any time.
 struct PoolStats {
   /// Workers spawned so far (the pool never shrinks).
   int workers = 0;

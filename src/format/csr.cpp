@@ -42,6 +42,12 @@ void CsrMatrix::Validate() const {
   for (int r = 0; r < rows; ++r) {
     SHFLBW_CHECK_MSG(row_ptr[r] <= row_ptr[r + 1],
                      "row_ptr not monotone at row " << r);
+    // Bound the slice before indexing col_idx with it: a corrupt
+    // row_ptr entry larger than nnz must throw, not read out of range
+    // (row_ptr[0] == 0 plus per-row monotonicity already bounds below).
+    SHFLBW_CHECK_MSG(row_ptr[r + 1] <= Nnz(),
+                     "row_ptr " << row_ptr[r + 1] << " exceeds nnz " << Nnz()
+                                << " at row " << r);
     for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
       SHFLBW_CHECK_MSG(col_idx[i] >= 0 && col_idx[i] < cols,
                        "col " << col_idx[i] << " out of range at row " << r);

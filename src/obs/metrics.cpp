@@ -164,7 +164,7 @@ double Histogram::Quantile(double q) const {
 Registry::Entry& Registry::GetEntry(const std::string& name, Type type,
                                     const std::string& help,
                                     double min_value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     SHFLBW_CHECK_MSG(it->second.type == type,
@@ -201,7 +201,7 @@ Histogram& Registry::GetHistogram(const std::string& name,
 }
 
 const Counter* Registry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(name);
   return it != metrics_.end() && it->second.type == Type::kCounter
              ? it->second.counter.get()
@@ -209,7 +209,7 @@ const Counter* Registry::FindCounter(const std::string& name) const {
 }
 
 const Gauge* Registry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(name);
   return it != metrics_.end() && it->second.type == Type::kGauge
              ? it->second.gauge.get()
@@ -217,7 +217,7 @@ const Gauge* Registry::FindGauge(const std::string& name) const {
 }
 
 const Histogram* Registry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = metrics_.find(name);
   return it != metrics_.end() && it->second.type == Type::kHistogram
              ? it->second.histogram.get()
@@ -225,7 +225,7 @@ const Histogram* Registry::FindHistogram(const std::string& name) const {
 }
 
 std::vector<std::string> Registry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(metrics_.size());
   for (const auto& [name, entry] : metrics_) names.push_back(name);
@@ -233,7 +233,7 @@ std::vector<std::string> Registry::Names() const {
 }
 
 std::string Registry::ExpositionText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os.precision(9);
   std::string last_family;

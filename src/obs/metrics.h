@@ -35,10 +35,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/obs_config.h"
 
 namespace shflbw {
@@ -152,27 +152,31 @@ class Histogram {
 /// metric, and requesting an existing name as a different type throws.
 class Registry {
  public:
-  Counter& GetCounter(const std::string& name, const std::string& help = "");
-  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Counter& GetCounter(const std::string& name, const std::string& help = "")
+      SHFLBW_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name, const std::string& help = "")
+      SHFLBW_EXCLUDES(mu_);
   Histogram& GetHistogram(const std::string& name,
                           const std::string& help = "",
-                          double min_value = 1e-6);
+                          double min_value = 1e-6) SHFLBW_EXCLUDES(mu_);
 
   /// Lookup without registration; nullptr when absent or a different
   /// type. Safe concurrently with recording.
-  const Counter* FindCounter(const std::string& name) const;
-  const Gauge* FindGauge(const std::string& name) const;
-  const Histogram* FindHistogram(const std::string& name) const;
+  const Counter* FindCounter(const std::string& name) const
+      SHFLBW_EXCLUDES(mu_);
+  const Gauge* FindGauge(const std::string& name) const SHFLBW_EXCLUDES(mu_);
+  const Histogram* FindHistogram(const std::string& name) const
+      SHFLBW_EXCLUDES(mu_);
 
   /// All registered metric names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const SHFLBW_EXCLUDES(mu_);
 
   /// Prometheus text exposition (version 0.0.4): families grouped and
   /// sorted, `# HELP`/`# TYPE` once per family, histogram cumulative
   /// buckets + `_sum` + `_count`. Safe concurrently with recording
   /// (values are a consistent-enough snapshot: each metric is read
   /// once; counters never decrease).
-  std::string ExpositionText() const;
+  std::string ExpositionText() const SHFLBW_EXCLUDES(mu_);
 
  private:
   enum class Type { kCounter, kGauge, kHistogram };
@@ -185,10 +189,15 @@ class Registry {
   };
 
   Entry& GetEntry(const std::string& name, Type type, const std::string& help,
-                  double min_value);
+                  double min_value) SHFLBW_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;            // guards the map topology only
-  std::map<std::string, Entry> metrics_;
+  /// Guards the map TOPOLOGY only (registration is the cold path);
+  /// recording into a Counter/Gauge/Histogram is lock-free on
+  /// thread-sharded atomics and needs no capability. Rank
+  /// kLockRankRegistry — the INNERMOST rank, because MetricsText
+  /// refreshes gauges while holding the server mutex.
+  mutable Mutex mu_{kLockRankRegistry};
+  std::map<std::string, Entry> metrics_ SHFLBW_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -79,7 +79,9 @@ struct TraceEvent {
 };
 
 /// Fixed-capacity lock-free span buffer; see the header comment for
-/// the recording contract.
+/// the recording contract. Recording is atomics-only, so the recorder
+/// takes no capability annotations (common/thread_annotations.h) and
+/// is safe to call from any thread with any subsystem mutex held.
 class TraceRecorder {
  public:
   explicit TraceRecorder(std::size_t capacity = 1 << 16);

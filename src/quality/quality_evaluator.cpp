@@ -35,7 +35,7 @@ double QualityEvaluator::RetainedRatio(int m, int k, std::uint64_t seed,
                    "kept density must be in (0, 1], got " << density);
   SHFLBW_CHECK_MSG(v >= 1, "granularity v must be >= 1, got " << v);
   const RatioKey key{m, k, seed, static_cast<int>(format), density, v};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ratios_.find(key);
   if (it != ratios_.end()) return it->second;
 
@@ -83,7 +83,7 @@ double QualityEvaluator::LayerRetainedRatio(const runtime::LayerDesc& l,
 double QualityEvaluator::LayerTotalScore(const runtime::LayerDesc& l,
                                          int layer,
                                          std::uint64_t weight_seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return Scores(l.GemmM(), l.GemmK(),
                 weight_seed + static_cast<std::uint64_t>(layer))
       .total;

@@ -23,10 +23,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <tuple>
 
 #include "common/matrix.h"
+#include "common/thread_annotations.h"
 #include "runtime/format.h"
 #include "runtime/model_desc.h"
 
@@ -42,7 +42,8 @@ class QualityEvaluator {
   /// asking feasible combinations (shape divisible by v etc.) — the
   /// pruners throw shflbw::Error otherwise, as they do at pack time.
   double RetainedRatio(int m, int k, std::uint64_t seed,
-                       runtime::Format format, double density, int v);
+                       runtime::Format format, double density, int v)
+      SHFLBW_EXCLUDES(mu_);
 
   /// Convenience over a model layer: master shape (GemmM x GemmK),
   /// seed = weight_seed + layer — the exact weight Engine::MasterWeight
@@ -54,20 +55,20 @@ class QualityEvaluator {
   /// Total magnitude importance of the layer's master (the denominator
   /// of the ratio) — the per-layer weight of the aggregate floor.
   double LayerTotalScore(const runtime::LayerDesc& l, int layer,
-                         std::uint64_t weight_seed);
+                         std::uint64_t weight_seed) SHFLBW_EXCLUDES(mu_);
 
   /// Mask evaluations actually performed (i.e. memoization misses).
-  std::size_t Evaluations() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t Evaluations() const SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return evaluations_;
   }
   /// Distinct (shape, seed) masters synthesized so far.
-  std::size_t ScoreMatrices() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t ScoreMatrices() const SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return scores_.size();
   }
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     scores_.clear();
     ratios_.clear();
   }
@@ -87,14 +88,16 @@ class QualityEvaluator {
   // m, k, seed, format, density, v
   using RatioKey = std::tuple<int, int, std::uint64_t, int, double, int>;
 
-  /// Synthesizes (or fetches) the master's importance scores. Caller
-  /// holds mu_.
-  const ScoresEntry& Scores(int m, int k, std::uint64_t seed);
+  /// Synthesizes (or fetches) the master's importance scores.
+  const ScoresEntry& Scores(int m, int k, std::uint64_t seed)
+      SHFLBW_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<ScoresKey, ScoresEntry> scores_;
-  std::map<RatioKey, double> ratios_;
-  std::size_t evaluations_ = 0;
+  /// Rank kLockRankEvaluator: the mask searches under it are serial
+  /// (no ParallelFor) and touch no other locked subsystem.
+  mutable Mutex mu_{kLockRankEvaluator};
+  std::map<ScoresKey, ScoresEntry> scores_ SHFLBW_GUARDED_BY(mu_);
+  std::map<RatioKey, double> ratios_ SHFLBW_GUARDED_BY(mu_);
+  std::size_t evaluations_ SHFLBW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace quality

@@ -78,8 +78,10 @@ struct AdmissionPolicy {
   double ewma_alpha = 0.2;
 };
 
-/// Admission decisions for the BatchServer. Not thread-safe: the
-/// server calls it under its queue mutex.
+/// Admission decisions for the BatchServer. Not thread-safe on its
+/// own: the server's member is declared SHFLBW_GUARDED_BY(mu_) (see
+/// server.h and common/thread_annotations.h), so every call site is
+/// proven under the queue mutex at compile time.
 class AdmissionController {
  public:
   AdmissionController() = default;
@@ -141,7 +143,9 @@ struct DegradationPolicy {
 /// every batch seal and the latency-vs-deadline ratio of every
 /// completed deadline-carrying request; shifts the serving level one
 /// step at a time after `hysteresis_seals` consecutive agreeing
-/// observations. Not thread-safe: guarded by the server's queue mutex.
+/// observations. Not thread-safe on its own: like AdmissionController,
+/// the server's member carries SHFLBW_GUARDED_BY(mu_), so misuse
+/// outside the queue mutex is a compile error under Clang.
 class DegradationController {
  public:
   DegradationController() = default;

@@ -52,6 +52,9 @@ struct FaultInjectorOptions {
 
 /// Thread-safe; share one instance across an engine/server and its
 /// weight cache via std::shared_ptr (EngineOptions::fault_injector).
+/// Lock-free by design — all state is atomics, so it carries no
+/// capability annotations (common/thread_annotations.h) and may be
+/// called with any subsystem mutex held without affecting lock order.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultInjectorOptions opts = {});

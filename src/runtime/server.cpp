@@ -289,9 +289,11 @@ void BatchServer::TraceAdmission(double begin, std::uint64_t id,
 
 SubmitStatus BatchServer::Submit(Request req, std::future<Response>* out) {
   const double begin = NowSeconds();
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   const std::size_t cap = admission_.CapacityFor(req.qos, opts_.queue_capacity);
-  not_full_.wait(lock, [&] { return stop_ || queue_.size() < cap; });
+  not_full_.Wait(mu_, [&]() SHFLBW_REQUIRES(mu_) {
+    return stop_ || queue_.size() < cap;
+  });
   if (stop_) {
     // Includes producers that were blocked on a full queue when
     // Shutdown ran: they wake here with a typed rejection, never hang.
@@ -308,9 +310,9 @@ SubmitStatus BatchServer::Submit(Request req, std::future<Response>* out) {
   }
   *out = Enqueue(req, /*force_level=*/-1);
   const std::uint64_t id = next_id_ - 1;
-  lock.unlock();
+  lock.Unlock();
   TraceAdmission(begin, id, SubmitStatus::kAccepted);
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return SubmitStatus::kAccepted;
 }
 
@@ -327,7 +329,7 @@ SubmitStatus BatchServer::TrySubmit(Request req, std::future<Response>* out) {
   const double begin = NowSeconds();
   std::uint64_t id = obs::kNoId;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) {
       c_rejected_shutdown_->Add();
       TraceAdmission(begin, obs::kNoId, SubmitStatus::kRejectedShutdown);
@@ -351,7 +353,7 @@ SubmitStatus BatchServer::TrySubmit(Request req, std::future<Response>* out) {
     id = next_id_ - 1;
   }
   TraceAdmission(begin, id, SubmitStatus::kAccepted);
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return SubmitStatus::kAccepted;
 }
 
@@ -359,13 +361,14 @@ std::future<Response> BatchServer::SubmitInternal(Request req,
                                                   int force_level) {
   // Warmup path: blocking, full queue share, no admission checks (the
   // request is the server's own and carries no deadline).
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [&] { return stop_ || queue_.size() < opts_.queue_capacity; });
+  UniqueLock lock(mu_);
+  not_full_.Wait(mu_, [&]() SHFLBW_REQUIRES(mu_) {
+    return stop_ || queue_.size() < opts_.queue_capacity;
+  });
   SHFLBW_CHECK_MSG(!stop_, "BatchServer: warmup after shutdown");
   std::future<Response> fut = Enqueue(req, force_level);
-  lock.unlock();
-  not_empty_.notify_one();
+  lock.Unlock();
+  not_empty_.NotifyOne();
   return fut;
 }
 
@@ -381,24 +384,26 @@ void BatchServer::Drain() {
   // idle_ notification and after the batch's promises (served and shed
   // alike) were resolved, so Drain cannot miss the transition and every
   // pre-Drain future is ready when it returns.
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return completed_ + shed_ == next_id_; });
+  UniqueLock lock(mu_);
+  idle_.Wait(mu_, [&]() SHFLBW_REQUIRES(mu_) {
+    return completed_ + shed_ == next_id_;
+  });
 }
 
 void BatchServer::Shutdown() {
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     to_join.swap(threads_);  // second caller swaps an empty vector
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
   for (std::thread& th : to_join) th.join();
 }
 
 ServerStats BatchServer::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Snapshot view over the registry: every counter here is only ever
   // incremented under mu_, so reading them under mu_ yields the same
   // exact values the old member counters did.
@@ -428,7 +433,7 @@ std::string BatchServer::MetricsText() const {
   obs::Registry& reg = telemetry_->registry();
   // Refresh the point-in-time gauges the hot path doesn't maintain.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     g_queue_depth_->Set(static_cast<double>(queue_.size()));
     g_level_->Set(controller_.level());
     reg.GetGauge("shflbw_ladder_downshifts", "Degradation downshifts")
@@ -461,9 +466,10 @@ void BatchServer::ReplicaLoop(int replica) {
   const std::size_t max_batch =
       static_cast<std::size_t>(std::max(1, opts_.max_batch));
   const bool metrics = telemetry_->metrics_on();
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
-    not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    not_empty_.Wait(mu_,
+                    [&]() SHFLBW_REQUIRES(mu_) { return stop_ || !queue_.empty(); });
     // Drain-on-shutdown: keep serving until the queue is empty, so
     // every future obtained from Submit resolves.
     if (queue_.empty()) return;  // implies stop_
@@ -484,10 +490,10 @@ void BatchServer::ReplicaLoop(int replica) {
     if (opts_.coalesce_window_seconds > 0 && !stop_ &&
         queue_.front().force_level < 0 && queue_.size() < seal) {
       windowed = true;
-      not_empty_.wait_for(
-          lock,
-          std::chrono::duration<double>(opts_.coalesce_window_seconds),
-          [&] { return stop_ || queue_.size() >= seal; });
+      not_empty_.WaitFor(mu_, opts_.coalesce_window_seconds,
+                         [&]() SHFLBW_REQUIRES(mu_) {
+                           return stop_ || queue_.size() >= seal;
+                         });
       if (queue_.empty()) continue;
     }
 
@@ -527,12 +533,12 @@ void BatchServer::ReplicaLoop(int replica) {
     const std::uint64_t batch_id = next_batch_id_++;
     g_queue_depth_->Set(static_cast<double>(queue_.size()));
     g_level_->Set(controller_.level());
-    lock.unlock();
+    lock.Unlock();
     // Freed slots: wake every blocked Submit, not just one.
     if (take + dropped.size() > 1) {
-      not_full_.notify_all();
+      not_full_.NotifyAll();
     } else {
-      not_full_.notify_one();
+      not_full_.NotifyOne();
     }
 
     const bool tracing = telemetry_->tracing_on();
@@ -590,10 +596,10 @@ void BatchServer::ReplicaLoop(int replica) {
     }
 
     if (batch.empty()) {
-      lock.lock();
+      lock.Lock();
       shed_ += dropped.size();
       c_shed_->Add(static_cast<double>(dropped.size()));
-      if (completed_ + shed_ == next_id_) idle_.notify_all();
+      if (completed_ + shed_ == next_id_) idle_.NotifyAll();
       continue;
     }
 
@@ -705,7 +711,7 @@ void BatchServer::ReplicaLoop(int replica) {
       }
     }
 
-    lock.lock();
+    lock.Lock();
     // Retire the whole batch (served and shed together) under one lock
     // hold, atomically with the idle_ notification Drain waits on. The
     // protocol counters and their registry mirrors move together.
@@ -738,7 +744,7 @@ void BatchServer::ReplicaLoop(int replica) {
         }
       }
     }
-    if (completed_ + shed_ == next_id_) idle_.notify_all();
+    if (completed_ + shed_ == next_id_) idle_.NotifyAll();
   }
 }
 

@@ -37,15 +37,14 @@
 // with (RunBatched's per-column-block contract).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/telemetry.h"
 #include "runtime/admission.h"
 #include "runtime/engine.h"
@@ -219,7 +218,7 @@ class BatchServer {
   /// demand otherwise. Implemented as one blocking request per level
   /// through the regular queue, so it is safe to call at any time
   /// (engines are only ever touched by their own replica thread).
-  void Warmup();
+  void Warmup() SHFLBW_EXCLUDES(mu_);
 
   /// Enqueues a request; the future resolves when a replica finishes
   /// (or sheds) it. Blocks while the QoS class's queue share is at
@@ -227,15 +226,17 @@ class BatchServer {
   /// (including producers that were blocked when Shutdown ran — they
   /// wake with this status instead of hanging), or
   /// kRejectedInfeasibleDeadline; *out is untouched on rejection.
-  SubmitStatus Submit(Request req, std::future<Response>* out);
+  SubmitStatus Submit(Request req, std::future<Response>* out)
+      SHFLBW_EXCLUDES(mu_);
 
   /// Legacy blocking submit. Throws shflbw::Error on any rejection
   /// (shutdown, infeasible deadline); prefer the SubmitStatus overload.
-  std::future<Response> Submit(Request req);
+  std::future<Response> Submit(Request req) SHFLBW_EXCLUDES(mu_);
 
   /// Non-blocking Submit: like Submit(req, out) but returns
   /// kRejectedQueueFull instead of waiting for space.
-  SubmitStatus TrySubmit(Request req, std::future<Response>* out);
+  SubmitStatus TrySubmit(Request req, std::future<Response>* out)
+      SHFLBW_EXCLUDES(mu_);
 
   /// Blocks until the server is idle: completed + shed == submitted,
   /// checked (and re-checked after every wakeup) under the queue mutex,
@@ -244,14 +245,14 @@ class BatchServer {
   /// still in flight. Retirement is batch-atomic and happens after the
   /// batch's promises (served and shed alike) are resolved, so every
   /// future submitted before Drain is ready when it returns.
-  void Drain();
+  void Drain() SHFLBW_EXCLUDES(mu_);
 
   /// Stops accepting new requests (blocked producers wake with
   /// kRejectedShutdown), drains the queue, joins the replica threads.
   /// Idempotent; called by the destructor.
-  void Shutdown();
+  void Shutdown() SHFLBW_EXCLUDES(mu_);
 
-  ServerStats Stats() const;
+  ServerStats Stats() const SHFLBW_EXCLUDES(mu_);
   int replicas() const { return static_cast<int>(engines_.size()); }
   const ServerOptions& options() const { return opts_; }
   const PackedWeightCache& cache() const { return *cache_; }
@@ -264,7 +265,7 @@ class BatchServer {
   /// Prometheus text exposition of the whole registry, with the
   /// point-in-time gauges (queue depth, ladder level, worker-pool
   /// state, admission estimate) refreshed first. Safe while serving.
-  std::string MetricsText() const;
+  std::string MetricsText() const SHFLBW_EXCLUDES(mu_);
 
   /// Writes the recorded span trace as Chrome trace-event JSON —
   /// loadable at ui.perfetto.dev or chrome://tracing. Call after
@@ -284,10 +285,12 @@ class BatchServer {
     std::promise<Response> promise;
   };
 
-  /// Common admission path; assumes mu_ held, queue space available.
-  std::future<Response> Enqueue(Request req, int force_level);
-  std::future<Response> SubmitInternal(Request req, int force_level);
-  void ReplicaLoop(int replica);
+  /// Common admission path; queue space must be available.
+  std::future<Response> Enqueue(Request req, int force_level)
+      SHFLBW_REQUIRES(mu_);
+  std::future<Response> SubmitInternal(Request req, int force_level)
+      SHFLBW_EXCLUDES(mu_);
+  void ReplicaLoop(int replica) SHFLBW_EXCLUDES(mu_);
 
   /// Registers the serving-side metric handles (counters, histograms,
   /// gauges) in telemetry_'s registry; constructor-only.
@@ -307,20 +310,24 @@ class BatchServer {
   std::vector<double> level_floors_;   // ladder floors (or {-1})
   std::vector<double> level_ratios_;   // MinRetainedRatio per level plan
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;  // replicas wait for work
-  std::condition_variable not_full_;   // Submit waits for queue space
-  std::condition_variable idle_;       // Drain waits for completed==submitted
-  std::deque<Pending> queue_;
-  bool stop_ = false;
+  /// Rank kLockRankServer: scheduler threads release it around every
+  /// engine launch, so it nests only ABOVE the registry lock
+  /// (MetricsText's gauge refresh) and never around the pool, cache or
+  /// evaluator locks.
+  mutable Mutex mu_{kLockRankServer};
+  CondVar not_empty_;  // replicas wait for work
+  CondVar not_full_;   // Submit waits for queue space
+  CondVar idle_;       // Drain waits for completed==submitted
+  std::deque<Pending> queue_ SHFLBW_GUARDED_BY(mu_);
+  bool stop_ SHFLBW_GUARDED_BY(mu_) = false;
   /// Protocol counters: the cv predicates (Drain's idle condition, the
   /// conservation law) need exact values read under mu_, so these stay
   /// plain members; they are mirrored into registry counters at the
   /// same increment sites (one relaxed add each, already under mu_).
-  std::uint64_t next_id_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t next_batch_id_ = 0;  // seal order, for span correlation
+  std::uint64_t next_id_ SHFLBW_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ SHFLBW_GUARDED_BY(mu_) = 0;
+  std::uint64_t shed_ SHFLBW_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_batch_id_ SHFLBW_GUARDED_BY(mu_) = 0;  // seal order
   /// Cached registry handles; every non-protocol stat lives only in the
   /// registry now (Stats() reads it back). All increments happen under
   /// mu_, so Stats() — which also holds mu_ — sees exact values.
@@ -341,10 +348,14 @@ class BatchServer {
   obs::Histogram* h_batch_width_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;
   obs::Gauge* g_level_ = nullptr;
-  AdmissionController admission_;     // guarded by mu_
-  DegradationController controller_;  // guarded by mu_
+  /// Both controllers are plain mechanism objects (runtime/admission.h)
+  /// with no locking of their own; every call goes through mu_.
+  AdmissionController admission_ SHFLBW_GUARDED_BY(mu_);
+  DegradationController controller_ SHFLBW_GUARDED_BY(mu_);
 
-  std::vector<std::thread> threads_;
+  /// Populated by the constructor (no concurrent access yet), swapped
+  /// out under mu_ by Shutdown and joined lock-free.
+  std::vector<std::thread> threads_ SHFLBW_GUARDED_BY(mu_);
 };
 
 }  // namespace runtime

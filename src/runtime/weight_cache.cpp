@@ -58,7 +58,7 @@ const PackedWeight& PackedWeightCache::GetOrPack(
     const std::function<const Matrix<float>&()>& master_fn, double density,
     int v) {
   const Key key{layer, static_cast<int>(format), density, v};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     // Fault hook fires before any mutation: a TransientFault here

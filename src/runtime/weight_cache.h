@@ -14,10 +14,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 
 #include "common/matrix.h"
+#include "common/thread_annotations.h"
 #include "format/balanced24.h"
 #include "format/bsr.h"
 #include "format/csr.h"
@@ -62,7 +62,7 @@ class PackedWeightCache {
   /// lookup is a short locked map find.
   const PackedWeight& GetOrPack(int layer, Format format,
                                 const Matrix<float>& master, double density,
-                                int v);
+                                int v) SHFLBW_EXCLUDES(mu_);
 
   /// Lazy-master variant: `master_fn` is invoked only on a cache miss,
   /// so a hit never materializes the dense master weight. This is what
@@ -72,26 +72,27 @@ class PackedWeightCache {
   const PackedWeight& GetOrPack(
       int layer, Format format,
       const std::function<const Matrix<float>&()>& master_fn, double density,
-      int v);
+      int v) SHFLBW_EXCLUDES(mu_);
 
-  bool Contains(int layer, Format format, double density, int v) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Contains(int layer, Format format, double density, int v) const
+      SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return cache_.count(Key{layer, static_cast<int>(format), density, v}) > 0;
   }
 
   /// Number of conversions performed over the cache's lifetime. The
   /// engine snapshots this around Run to prove steady-state runs pack
   /// nothing.
-  std::size_t TotalPacks() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t TotalPacks() const SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return packs_;
   }
-  std::size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t Size() const SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return cache_.size();
   }
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     cache_.clear();
   }
 
@@ -101,18 +102,23 @@ class PackedWeightCache {
   /// behind, so a retry sees a clean miss. Engines sharing this cache
   /// install the same injector (EngineOptions::fault_injector); nullptr
   /// uninstalls.
-  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector)
+      SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     injector_ = std::move(injector);
   }
 
  private:
   using Key = std::tuple<int, int, double, int>;  // layer, format, density, v
 
-  mutable std::mutex mu_;
-  std::map<Key, PackedWeight> cache_;
-  std::size_t packs_ = 0;
-  std::shared_ptr<FaultInjector> injector_;
+  /// Rank kLockRankCache: may be acquired while no lock or only
+  /// earlier-ranked locks are held; packing under it calls only
+  /// lock-free pruners/converters (no ParallelFor — the pool mutex is
+  /// rank 10, which would invert the order).
+  mutable Mutex mu_{kLockRankCache};
+  std::map<Key, PackedWeight> cache_ SHFLBW_GUARDED_BY(mu_);
+  std::size_t packs_ SHFLBW_GUARDED_BY(mu_) = 0;
+  std::shared_ptr<FaultInjector> injector_ SHFLBW_GUARDED_BY(mu_);
 };
 
 /// Prunes `master` to `format` at (density, v) and converts the result

@@ -1,0 +1,176 @@
+// Tests for the annotated mutex wrappers and the runtime lock-order
+// rank assertion (common/thread_annotations.h). The Clang capability
+// analysis is exercised at configure time by tests/static/probe_*.cpp;
+// this file pins down the part that runs in EVERY build: acquiring
+// ranked mutexes out of the documented global order throws
+// shflbw::Error deterministically instead of deadlocking.
+#include "common/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace shflbw {
+namespace {
+
+// The violation tests below intentionally commit the exact misuse the
+// capability analysis rejects at compile time (the runtime assertion
+// throws before anything blocks). Analysis off for these two helpers
+// only — the whole point is to reach the runtime check.
+void AcquireBypassingAnalysis(Mutex& mu) SHFLBW_NO_THREAD_SAFETY_ANALYSIS {
+  mu.lock();
+}
+
+/// try_lock that immediately releases on success, so no capability
+/// escapes; returns whether acquisition succeeded.
+bool TryAcquireBypassingAnalysis(Mutex& mu) SHFLBW_NO_THREAD_SAFETY_ANALYSIS {
+  if (!mu.try_lock()) return false;
+  mu.unlock();
+  return true;
+}
+
+TEST(MutexTest, InOrderNestingIsAllowed) {
+  Mutex pool(kLockRankPool);
+  Mutex server(kLockRankServer);
+  Mutex registry(kLockRankRegistry);
+  MutexLock l1(pool);
+  MutexLock l2(server);
+  MutexLock l3(registry);  // 10 -> 20 -> 50: strictly increasing, fine
+}
+
+TEST(MutexTest, OutOfOrderAcquisitionThrows) {
+  Mutex server(kLockRankServer);
+  Mutex pool(kLockRankPool);
+  MutexLock hold_server(server);
+  // Acquiring the pool mutex (rank 10) while holding the server mutex
+  // (rank 20) inverts the documented order; must throw BEFORE blocking.
+  EXPECT_THROW(AcquireBypassingAnalysis(pool), Error);
+}
+
+TEST(MutexTest, EqualRankAcquisitionThrows) {
+  // Two locks of the same rank were never meant to nest (and on the
+  // same mutex it would be UB recursion); the assertion rejects both.
+  Mutex a(kLockRankCache);
+  Mutex b(kLockRankCache);
+  MutexLock hold_a(a);
+  EXPECT_THROW(AcquireBypassingAnalysis(b), Error);
+}
+
+TEST(MutexTest, OrderResetsAfterRelease) {
+  Mutex server(kLockRankServer);
+  Mutex pool(kLockRankPool);
+  {
+    MutexLock hold(server);
+  }
+  // Server mutex released: acquiring the lower rank is legal again.
+  MutexLock hold_pool(pool);
+  MutexLock hold_server(server);  // and re-nesting upward still works
+}
+
+TEST(MutexTest, UnrankedMutexIsExemptFromOrder) {
+  Mutex registry(kLockRankRegistry);
+  Mutex leaf;  // kLockRankUnordered: a leaf lock, never part of the order
+  MutexLock hold_registry(registry);
+  MutexLock hold_leaf(leaf);  // no throw, despite "nesting" under rank 50
+}
+
+TEST(MutexTest, TryLockRespectsOrderAndReportsContention) {
+  Mutex server(kLockRankServer);
+  Mutex pool(kLockRankPool);
+  {
+    MutexLock hold(server);
+    // Order applies to try_lock too.
+    EXPECT_THROW(TryAcquireBypassingAnalysis(pool), Error);
+  }
+  // Contended try_lock from another thread fails cleanly (no throw —
+  // contention is not an order violation).
+  MutexLock hold_pool(pool);
+  std::atomic<int> result{-1};
+  std::thread t([&] { result = TryAcquireBypassingAnalysis(pool) ? 1 : 0; });
+  t.join();
+  EXPECT_EQ(result.load(), 0);
+}
+
+TEST(MutexTest, UniqueLockUnlockRelockRoundTrip) {
+  Mutex server(kLockRankServer);
+  Mutex pool(kLockRankPool);
+  UniqueLock lock(server);
+  EXPECT_TRUE(lock.held());
+  lock.Unlock();
+  EXPECT_FALSE(lock.held());
+  {
+    // With the server mutex dropped, the thread holds nothing: a
+    // lower-rank acquisition is legal in the gap (this is exactly the
+    // scheduler-loop shape — drop the queue lock, run, relock).
+    MutexLock hold_pool(pool);
+  }
+  lock.Lock();
+  EXPECT_TRUE(lock.held());
+}
+
+TEST(MutexTest, CondVarWaitPredicateAndNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread t([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    UniqueLock lock(mu);
+    cv.Wait(mu, [&]() SHFLBW_REQUIRES(mu) { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  t.join();
+}
+
+TEST(MutexTest, CondVarWaitForTimesOutWhenPredicateStaysFalse) {
+  Mutex mu;
+  CondVar cv;
+  UniqueLock lock(mu);
+  const bool ok =
+      cv.WaitFor(mu, 0.01, [&]() SHFLBW_REQUIRES(mu) { return false; });
+  EXPECT_FALSE(ok);
+}
+
+TEST(MutexTest, RankAccessorsMatchConstruction) {
+  Mutex ranked(kLockRankEvaluator);
+  Mutex unranked;
+  EXPECT_EQ(ranked.rank(), kLockRankEvaluator);
+  EXPECT_EQ(unranked.rank(), kLockRankUnordered);
+}
+
+TEST(MutexTest, ViolationMessageNamesBothRanksAndTheOrder) {
+  Mutex registry(kLockRankRegistry);
+  Mutex pool(kLockRankPool);
+  MutexLock hold(registry);
+  try {
+    AcquireBypassingAnalysis(pool);
+    FAIL() << "expected lock-order violation";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 10"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 50"), std::string::npos) << what;
+    EXPECT_NE(what.find("pool(10)"), std::string::npos) << what;
+  }
+}
+
+TEST(MutexTest, OrderIsPerThread) {
+  // Held ranks are thread-local: another thread may acquire a lower
+  // rank concurrently without tripping this thread's held set.
+  Mutex registry(kLockRankRegistry);
+  Mutex pool(kLockRankPool);
+  MutexLock hold(registry);
+  std::thread t([&] {
+    MutexLock low(pool);  // fresh thread, empty held set: fine
+  });
+  t.join();
+}
+
+}  // namespace
+}  // namespace shflbw

@@ -1,0 +1,30 @@
+// Negative-compilation probe: acquiring the same mutex twice in one
+// scope must be rejected ("acquiring mutex ... that is already held")
+// — std::mutex makes recursive locking undefined behaviour, and the
+// analysis catches it before the deadlock does.
+// cmake/ThreadSafetyProbes.cmake asserts this file FAILS to compile
+// under -Werror=thread-safety.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  void Touch() {
+    shflbw::MutexLock outer(mu_);
+    shflbw::MutexLock inner(mu_);  // double acquire: must not compile
+    ++value_;
+  }
+
+ private:
+  shflbw::Mutex mu_;
+  int value_ SHFLBW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.Touch();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Positive control for the negative-compilation probes: disciplined
+// use of every wrapper in common/thread_annotations.h MUST compile
+// cleanly under -Werror=thread-safety. If this file fails, the probe
+// harness is rejecting everything (e.g. a broken include path or a
+// macro typo), and the three negative probes' failures prove nothing.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  void Bump() SHFLBW_EXCLUDES(mu_) {
+    shflbw::MutexLock lock(mu_);
+    BumpLocked();
+  }
+
+  void WaitNonZero() SHFLBW_EXCLUDES(mu_) {
+    shflbw::UniqueLock lock(mu_);
+    cv_.Wait(mu_, [this]() SHFLBW_REQUIRES(mu_) { return value_ != 0; });
+    lock.Unlock();  // early release, as the scheduler loops do
+  }
+
+  int Value() SHFLBW_EXCLUDES(mu_) {
+    shflbw::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void Notify() { cv_.NotifyAll(); }
+
+ private:
+  void BumpLocked() SHFLBW_REQUIRES(mu_) { ++value_; }
+
+  shflbw::Mutex mu_;
+  shflbw::CondVar cv_;
+  int value_ SHFLBW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.Bump();
+  t.Notify();
+  return t.Value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Negative-compilation probe: calling a SHFLBW_REQUIRES(mu_) helper
+// without holding mu_ must be rejected ("calling function ... requires
+// holding mutex"). cmake/ThreadSafetyProbes.cmake asserts this file
+// FAILS to compile under -Werror=thread-safety.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  int Get() {  // calls the locked helper with no lock held
+    return GetLocked();
+  }
+
+ private:
+  int GetLocked() SHFLBW_REQUIRES(mu_) { return value_; }
+
+  shflbw::Mutex mu_;
+  int value_ SHFLBW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  return t.Get();
+}

@@ -1,0 +1,27 @@
+// Negative-compilation probe: writing a SHFLBW_GUARDED_BY field
+// without holding its mutex must be rejected by Clang's thread-safety
+// analysis. cmake/ThreadSafetyProbes.cmake asserts this file FAILS to
+// compile under -Werror=thread-safety; if it ever compiles, the
+// annotation layer has silently stopped protecting anything.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {  // no lock taken: must trip "writing variable ... requires"
+    ++value_;
+  }
+
+ private:
+  shflbw::Mutex mu_;
+  int value_ SHFLBW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}
