@@ -1,0 +1,29 @@
+// Hot-path region markers, consumed by shflbw_lint (tools/lint/).
+//
+// Every kernel inner loop in src/kernels/ is bracketed:
+//
+//   SHFLBW_HOT_BEGIN;
+//   for (std::size_t r = r0; r < r1; ++r) { ... }
+//   SHFLBW_HOT_END;
+//
+// Between the markers the lint bans heap allocation (new/malloc,
+// push_back/resize, container construction), locking, I/O and throw —
+// the zero-steady-state-allocation contract the kernels have carried
+// since PR 1, previously enforced only by review. Scratch buffers are
+// prepared (and SHFLBW_CHECKs run) BEFORE the region opens; the region
+// body touches only pre-sized memory.
+//
+// The markers compile to nothing; they exist so the lint can find the
+// regions and police balance (nested BEGIN / dangling END / region
+// left open at EOF are findings too — rule `hot-marker`). Escape hatch
+// for deliberate exceptions, justification required:
+//
+//   // SHFLBW_LINT_ALLOW(hot-path): why the contract holds anyway
+#pragma once
+
+#define SHFLBW_HOT_BEGIN \
+  do {                   \
+  } while (0)
+#define SHFLBW_HOT_END \
+  do {                 \
+  } while (0)

@@ -1,6 +1,7 @@
 #include "kernels/conv2d.h"
 
 #include "common/check.h"
+#include "common/hot_path.h"
 #include "common/thread_pool.h"
 #include "kernels/gemm_dense.h"
 #include "kernels/spmm_shfl_bw.h"
@@ -17,6 +18,7 @@ Matrix<float> Im2Col(const Tensor4& input, const ConvShape& shape) {
   // Input channels write disjoint row bands of the unfolded matrix, so
   // the unfold runs channel-parallel.
   auto unfold_channel = [&](int ci) {
+    SHFLBW_HOT_BEGIN;
     for (int r = 0; r < shape.kh; ++r) {
       for (int s = 0; s < shape.kw; ++s) {
         const int row = (ci * shape.kh + r) * shape.kw + s;
@@ -34,6 +36,7 @@ Matrix<float> Im2Col(const Tensor4& input, const ConvShape& shape) {
         }
       }
     }
+    SHFLBW_HOT_END;
   };
   ParallelFor(0, shape.in_c, /*grain=*/1,
               [&](std::int64_t lo, std::int64_t hi) {

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/hot_path.h"
 #include "common/thread_pool.h"
 
 namespace shflbw {
@@ -22,6 +23,7 @@ Matrix<float> GemmReference(const Matrix<float>& a, const Matrix<float>& b) {
   const Matrix<float> bh = RoundThroughFp16(b);
   ParallelFor(0, m, /*grain=*/4, [&](std::int64_t lo, std::int64_t hi) {
     std::vector<float> acc(static_cast<std::size_t>(n));
+    SHFLBW_HOT_BEGIN;
     for (std::int64_t i = lo; i < hi; ++i) {
       std::fill(acc.begin(), acc.end(), 0.0f);
       const float* arow = ah.row(static_cast<int>(i));
@@ -33,6 +35,7 @@ Matrix<float> GemmReference(const Matrix<float>& a, const Matrix<float>& b) {
       float* crow = c.row(static_cast<int>(i));
       for (int j = 0; j < n; ++j) crow[j] = RoundToFp16(acc[j]);
     }
+    SHFLBW_HOT_END;
   });
   return c;
 }

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/hot_path.h"
 
 namespace shflbw {
 namespace {
@@ -23,6 +24,7 @@ void NormalizeRow(const Matrix<float>& x, const LayerNormParams& p, int row,
                   Emit&& emit) {
   const int features = x.cols();
   const float* in = x.row(row);
+  SHFLBW_HOT_BEGIN;
   double mean = 0.0;
   for (int f = 0; f < features; ++f) mean += in[f];
   mean /= features;
@@ -41,6 +43,7 @@ void NormalizeRow(const Matrix<float>& x, const LayerNormParams& p, int row,
     // Output rounds through fp16, as the downstream kernel operand.
     emit(f, Fp16(norm).ToFloat());
   }
+  SHFLBW_HOT_END;
 }
 
 }  // namespace

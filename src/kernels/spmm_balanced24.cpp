@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/hot_path.h"
 #include "common/thread_pool.h"
 
 namespace shflbw {
@@ -57,6 +58,7 @@ KernelResult SpmmBalanced24(const Balanced24Matrix& a, const Matrix<float>& b,
   const Matrix<float> bh = RoundThroughFp16(b);
   ParallelFor(0, a.rows, /*grain=*/8, [&](std::int64_t lo, std::int64_t hi) {
     std::vector<float> acc(static_cast<std::size_t>(n));
+    SHFLBW_HOT_BEGIN;
     for (std::int64_t row = lo; row < hi; ++row) {
       std::fill(acc.begin(), acc.end(), 0.0f);
       std::size_t slot = static_cast<std::size_t>(row) * a.cols / 2;
@@ -71,6 +73,7 @@ KernelResult SpmmBalanced24(const Balanced24Matrix& a, const Matrix<float>& b,
       float* crow = r.c.row(static_cast<int>(row));
       for (int j = 0; j < n; ++j) crow[j] = RoundToFp16(acc[j]);
     }
+    SHFLBW_HOT_END;
   });
   r.stats = SpmmBalanced24Stats(a.rows, n, a.cols, spec);
   return r;

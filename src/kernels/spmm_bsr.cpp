@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/hot_path.h"
 #include "common/thread_pool.h"
 
 namespace shflbw {
@@ -60,6 +61,7 @@ KernelResult SpmmBsr(const BsrMatrix& a, const Matrix<float>& b,
   ParallelFor(0, a.BlockRows(), /*grain=*/1,
               [&](std::int64_t lo, std::int64_t hi) {
     std::vector<float> acc(static_cast<std::size_t>(n));
+    SHFLBW_HOT_BEGIN;
     for (std::int64_t br = lo; br < hi; ++br) {
       for (int rr = 0; rr < v; ++rr) {
         const int row = static_cast<int>(br) * v + rr;
@@ -78,6 +80,7 @@ KernelResult SpmmBsr(const BsrMatrix& a, const Matrix<float>& b,
         for (int j = 0; j < n; ++j) crow[j] = RoundToFp16(acc[j]);
       }
     }
+    SHFLBW_HOT_END;
   });
   r.stats = SpmmBsrStats(a.rows, n, a.cols, a.NnzBlocks(), v, spec, cfg);
   return r;

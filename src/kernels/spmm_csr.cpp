@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/hot_path.h"
 #include "common/thread_pool.h"
 
 namespace shflbw {
@@ -47,6 +48,7 @@ Matrix<float> RunCsrRowParallel(const CsrMatrix& a, const Matrix<float>& b) {
   const Matrix<float> bh = RoundThroughFp16(b);
   ParallelFor(0, a.rows, /*grain=*/8, [&](std::int64_t lo, std::int64_t hi) {
     std::vector<float> acc(static_cast<std::size_t>(n));
+    SHFLBW_HOT_BEGIN;
     for (std::int64_t row = lo; row < hi; ++row) {
       std::fill(acc.begin(), acc.end(), 0.0f);
       for (int i = a.row_ptr[row]; i < a.row_ptr[row + 1]; ++i) {
@@ -57,6 +59,7 @@ Matrix<float> RunCsrRowParallel(const CsrMatrix& a, const Matrix<float>& b) {
       float* crow = c.row(static_cast<int>(row));
       for (int j = 0; j < n; ++j) crow[j] = RoundToFp16(acc[j]);
     }
+    SHFLBW_HOT_END;
   });
   return c;
 }

@@ -27,6 +27,8 @@ std::vector<int> UniformKept(int m, int k, double alpha, int v) {
 KernelResult SpmmShflBw(const ShflBwMatrix& a, const Matrix<float>& b,
                         const GpuSpec& spec, const TileConfig& cfg) {
   KernelResult r;
+  // Hot path lives in RunVwFamilyKernel's ExecuteVwTile (the SHFLBW_HOT
+  // region in spmm_vector_wise.cpp); this wrapper only shapes operands.
   r.c = RunVwFamilyKernel(a.vw, a.storage_to_original, b, cfg, nullptr);
   r.stats = VwFamilyStats(a.rows(), b.cols(), a.cols(), KeptPerGroup(a.vw),
                           a.v(), spec, cfg, KernelClass::kShflBwTensorCore,

@@ -42,6 +42,8 @@ KernelResult SpmmSputnik(const CsrMatrix& a, const Matrix<float>& b,
   // is the shared row-parallel CSR gather-accumulate (ascending column
   // order, bit-identical to the dense reference on the masked matrix).
   // Sputnik differs from the scalar baseline only in its traffic model.
+  // Hot path lives in RunCsrRowParallel (the SHFLBW_HOT region in
+  // spmm_csr.cpp).
   KernelResult r;
   r.c = RunCsrRowParallel(a, b);
   r.stats = SpmmSputnikStats(a.rows, b.cols(), a.cols, a.Nnz(), spec);

@@ -26,6 +26,8 @@ KernelResult SpmmVectorSparse(const VectorWiseMatrix& a,
   std::vector<int> identity(static_cast<std::size_t>(a.rows));
   std::iota(identity.begin(), identity.end(), 0);
   KernelResult r;
+  // Hot path lives in RunVwFamilyKernel's ExecuteVwTile (the SHFLBW_HOT
+  // region in spmm_vector_wise.cpp).
   r.c = RunVwFamilyKernel(a, identity, b, cfg, nullptr);
   std::vector<int> kept(static_cast<std::size_t>(a.Groups()));
   for (int g = 0; g < a.Groups(); ++g) kept[g] = a.KeptColumnsInGroup(g);

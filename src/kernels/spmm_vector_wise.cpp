@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/fp16.h"
+#include "common/hot_path.h"
 #include "common/thread_pool.h"
 
 namespace shflbw {
@@ -125,6 +126,7 @@ void ExecuteVwTile(const VectorWiseMatrix& a, const std::vector<float>& a_vals,
       static_cast<int>(std::ceil(static_cast<double>(kept) / cfg.tk));
   float* acc = scratch.acc.data();
 
+  SHFLBW_HOT_BEGIN;
   // Metadata queue: BulkLoadMeta fetches meta_prefetch_stage steps'
   // worth of column indices ahead of the stitch that consumes them
   // (Alg. 1 lines 6-8). meta_loaded_until tracks the frontier.
@@ -174,6 +176,7 @@ void ExecuteVwTile(const VectorWiseMatrix& a, const std::vector<float>& a_vals,
     if (load_step >= 0 && load_step < total_step) {
       // StitchTile (Fig. 4(b)): requires the metadata of this step.
       meta_ready = load_step < meta_loaded_until;
+      // SHFLBW_LINT_ALLOW(hot-path): hazard assert; allocates only on failure
       SHFLBW_CHECK_MSG(meta_ready, "pipeline hazard: stitching step "
                                        << load_step
                                        << " before its metadata loaded");
@@ -204,6 +207,7 @@ void ExecuteVwTile(const VectorWiseMatrix& a, const std::vector<float>& a_vals,
     }
 
     if (record) {
+      // SHFLBW_LINT_ALLOW(hot-path): first-tile-only trace, off steady path
       pipeline_trace->push_back({metaload_step, load_step, step, meta_ready});
     }
     ++step;
@@ -222,6 +226,7 @@ void ExecuteVwTile(const VectorWiseMatrix& a, const std::vector<float>& a_vals,
       dst[j] = RoundToFp16(src[j]);
     }
   }
+  SHFLBW_HOT_END;
 }
 
 }  // namespace

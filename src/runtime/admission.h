@@ -88,7 +88,8 @@ class AdmissionController {
   AdmissionController(AdmissionPolicy policy, int replicas);
 
   /// Queue slots this QoS class may occupy (<= queue_capacity, >= 1).
-  std::size_t CapacityFor(QoS qos, std::size_t queue_capacity) const;
+  [[nodiscard]] std::size_t CapacityFor(QoS qos,
+                                        std::size_t queue_capacity) const;
 
   /// Whether a request submitted now, behind `queue_depth` waiting
   /// requests, can still meet `deadline_seconds` (relative to now).
@@ -96,8 +97,8 @@ class AdmissionController {
   /// service time plus its share of the backlog ahead of it. With no
   /// estimate yet (no completions observed, no override) everything is
   /// feasible — admission control must fail open, not closed.
-  bool DeadlineFeasible(QoS qos, double deadline_seconds,
-                        std::size_t queue_depth) const;
+  [[nodiscard]] bool DeadlineFeasible(QoS qos, double deadline_seconds,
+                                      std::size_t queue_depth) const;
 
   /// Feeds one observed per-request service time (a fused batch
   /// contributes run_seconds / width) into the EWMA.
@@ -105,9 +106,9 @@ class AdmissionController {
 
   /// Current per-request estimate: the policy override if set, else
   /// the EWMA (0 until the first observation).
-  double EstimatedServiceSeconds() const;
+  [[nodiscard]] double EstimatedServiceSeconds() const;
 
-  const AdmissionPolicy& policy() const { return policy_; }
+  [[nodiscard]] const AdmissionPolicy& policy() const { return policy_; }
 
  private:
   AdmissionPolicy policy_;
@@ -151,8 +152,8 @@ class DegradationController {
   DegradationController() = default;
   DegradationController(DegradationPolicy policy, int levels);
 
-  int levels() const { return levels_; }
-  int level() const { return level_; }
+  [[nodiscard]] int levels() const { return levels_; }
+  [[nodiscard]] int level() const { return level_; }
 
   /// Feeds one completed request (latency in seconds, deadline relative
   /// to submit; deadline <= 0 = none, ignored for the p99 window).
@@ -169,10 +170,10 @@ class DegradationController {
 
   /// Windowed p99 of latency / deadline over completed deadline-
   /// carrying requests; -1 with no samples. > 1 means p99 misses.
-  double WindowP99Ratio() const;
+  [[nodiscard]] double WindowP99Ratio() const;
 
-  std::uint64_t downshifts() const { return downshifts_; }
-  std::uint64_t upshifts() const { return upshifts_; }
+  [[nodiscard]] std::uint64_t downshifts() const { return downshifts_; }
+  [[nodiscard]] std::uint64_t upshifts() const { return upshifts_; }
 
  private:
   DegradationPolicy policy_;

@@ -77,7 +77,7 @@ struct LayerRunRecord {
   double modeled_s = 0;     // planner's cost-model prediction
   double modeled_dense_s = 0;
 
-  double Gflops() const {
+  [[nodiscard]] double Gflops() const {
     return seconds > 0 ? useful_flops / seconds / 1e9 : 0.0;
   }
 };
@@ -170,10 +170,10 @@ class Engine {
   BatchRunResult RunBatched(const std::vector<std::uint64_t>& seeds,
                             const BatchContext& ctx);
 
-  const ModelDesc& model() const { return model_; }
-  const EngineOptions& options() const { return opts_; }
-  const PackedWeightCache& cache() const { return *cache_; }
-  const GpuSpec& gpu() const { return spec_; }
+  [[nodiscard]] const ModelDesc& model() const { return model_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+  [[nodiscard]] const PackedWeightCache& cache() const { return *cache_; }
+  [[nodiscard]] const GpuSpec& gpu() const { return spec_; }
 
  private:
   /// Synthesized master weight of layer i (created once, then cached).

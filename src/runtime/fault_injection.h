@@ -67,23 +67,32 @@ class FaultInjector {
   /// throw TransientFault; the cache stays unmodified.
   void OnPack();
 
-  std::uint64_t launches() const { return launches_.load(); }
-  std::uint64_t launch_failures() const { return launch_failures_.load(); }
-  std::uint64_t launch_delays() const { return launch_delays_.load(); }
-  std::uint64_t packs() const { return packs_.load(); }
-  std::uint64_t pack_failures() const { return pack_failures_.load(); }
-  std::uint64_t total_failures() const { return failures_spent_.load(); }
+  [[nodiscard]] std::uint64_t launches() const { return launches_.load(); }
+  [[nodiscard]] std::uint64_t launch_failures() const {
+    return launch_failures_.load();
+  }
+  [[nodiscard]] std::uint64_t launch_delays() const {
+    return launch_delays_.load();
+  }
+  [[nodiscard]] std::uint64_t packs() const { return packs_.load(); }
+  [[nodiscard]] std::uint64_t pack_failures() const {
+    return pack_failures_.load();
+  }
+  [[nodiscard]] std::uint64_t total_failures() const {
+    return failures_spent_.load();
+  }
 
   /// Snapshots the injector's counters into `reg` as gauges
   /// (shflbw_fault_* family). Called by BatchServer::MetricsText so a
   /// chaos run's Prometheus dump carries the injection ledger.
   void PublishMetrics(obs::Registry& reg) const;
 
-  const FaultInjectorOptions& options() const { return opts_; }
+  [[nodiscard]] const FaultInjectorOptions& options() const { return opts_; }
 
  private:
   /// Pure verdict for call ordinal `n` at `site` against `rate`.
-  bool Fires(std::uint64_t site, std::uint64_t n, double rate) const;
+  [[nodiscard]] bool Fires(std::uint64_t site, std::uint64_t n,
+                           double rate) const;
   /// Claims one unit of the failure budget; false once exhausted.
   bool TakeFailureBudget();
 

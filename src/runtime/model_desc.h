@@ -28,21 +28,21 @@ struct LayerDesc {
   ConvLayerSpec conv;
   int repeat = 1;  // occurrences of this shape in the full model
 
-  const std::string& Name() const {
+  [[nodiscard]] const std::string& Name() const {
     return kind == LayerKind::kGemm ? gemm.name : conv.name;
   }
   /// Layer dims viewed as the (implicit) GEMM C[m x n] = W[m x k] * X.
-  int GemmM() const {
+  [[nodiscard]] int GemmM() const {
     return kind == LayerKind::kGemm ? gemm.m : conv.GemmM();
   }
-  int GemmN() const {
+  [[nodiscard]] int GemmN() const {
     return kind == LayerKind::kGemm ? gemm.n : conv.GemmN();
   }
-  int GemmK() const {
+  [[nodiscard]] int GemmK() const {
     return kind == LayerKind::kGemm ? gemm.k : conv.GemmK();
   }
   /// Dense FLOPs of ONE invocation (repeat not folded in).
-  double Flops() const {
+  [[nodiscard]] double Flops() const {
     return 2.0 * GemmM() * static_cast<double>(GemmN()) * GemmK();
   }
 };
@@ -58,7 +58,7 @@ struct ModelDesc {
   std::vector<LayerDesc> layers;
 
   /// Dense FLOPs of the full model (repeat-weighted).
-  double TotalFlops() const;
+  [[nodiscard]] double TotalFlops() const;
 
   static ModelDesc Transformer(const TransformerConfig& cfg = {});
   static ModelDesc Gnmt(const GnmtConfig& cfg = {});

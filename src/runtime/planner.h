@@ -147,15 +147,15 @@ struct ExecutionPlan {
   std::vector<LayerPlan> layers;
 
   /// Repeat-weighted modelled seconds of the plan / of all-dense.
-  double ModeledTotalSeconds() const;
-  double ModeledDenseSeconds() const;
+  [[nodiscard]] double ModeledTotalSeconds() const;
+  [[nodiscard]] double ModeledDenseSeconds() const;
   /// Importance-weighted mean retained ratio over the model (weights =
   /// repeat × total_score) — the aggregate-floor metric. Returns -1
   /// when any layer lacks a quality evaluation (speed-only plans).
-  double AggregateRetainedRatio() const;
+  [[nodiscard]] double AggregateRetainedRatio() const;
   /// Smallest per-layer retained ratio, or -1 when any layer lacks a
   /// quality evaluation.
-  double MinRetainedRatio() const;
+  [[nodiscard]] double MinRetainedRatio() const;
 };
 
 /// Cost-model seconds of `format` on layer `l`, or nullopt with the

@@ -226,7 +226,9 @@ class BatchServer {
   /// (including producers that were blocked when Shutdown ran — they
   /// wake with this status instead of hanging), or
   /// kRejectedInfeasibleDeadline; *out is untouched on rejection.
-  SubmitStatus Submit(Request req, std::future<Response>* out)
+  /// [[nodiscard]]: a dropped verdict is a silently lost rejection
+  /// (lint rule nodiscard-status, tools/lint/).
+  [[nodiscard]] SubmitStatus Submit(Request req, std::future<Response>* out)
       SHFLBW_EXCLUDES(mu_);
 
   /// Legacy blocking submit. Throws shflbw::Error on any rejection
@@ -235,7 +237,8 @@ class BatchServer {
 
   /// Non-blocking Submit: like Submit(req, out) but returns
   /// kRejectedQueueFull instead of waiting for space.
-  SubmitStatus TrySubmit(Request req, std::future<Response>* out)
+  [[nodiscard]] SubmitStatus TrySubmit(Request req,
+                                       std::future<Response>* out)
       SHFLBW_EXCLUDES(mu_);
 
   /// Blocks until the server is idle: completed + shed == submitted,

@@ -74,8 +74,8 @@ class PackedWeightCache {
       const std::function<const Matrix<float>&()>& master_fn, double density,
       int v) SHFLBW_EXCLUDES(mu_);
 
-  bool Contains(int layer, Format format, double density, int v) const
-      SHFLBW_EXCLUDES(mu_) {
+  [[nodiscard]] bool Contains(int layer, Format format, double density,
+                              int v) const SHFLBW_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return cache_.count(Key{layer, static_cast<int>(format), density, v}) > 0;
   }
@@ -83,11 +83,11 @@ class PackedWeightCache {
   /// Number of conversions performed over the cache's lifetime. The
   /// engine snapshots this around Run to prove steady-state runs pack
   /// nothing.
-  std::size_t TotalPacks() const SHFLBW_EXCLUDES(mu_) {
+  [[nodiscard]] std::size_t TotalPacks() const SHFLBW_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return packs_;
   }
-  std::size_t Size() const SHFLBW_EXCLUDES(mu_) {
+  [[nodiscard]] std::size_t Size() const SHFLBW_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return cache_.size();
   }

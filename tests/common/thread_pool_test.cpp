@@ -3,13 +3,13 @@
 // the thread-count resolution order (override > env > hardware).
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace shflbw {
@@ -93,10 +93,10 @@ TEST(ParallelFor, PersistentWorkersAreReused) {
   // workers: the union of participating thread ids over both calls stays
   // within the resolved team size (caller + 3 workers). A fork-join
   // implementation could show up to 7 distinct ids here.
-  std::mutex mu;
+  shflbw::Mutex mu;
   std::set<std::thread::id> ids;
   auto collect = [&](std::int64_t, std::int64_t) {
-    std::lock_guard<std::mutex> lock(mu);
+    shflbw::MutexLock lock(mu);
     ids.insert(std::this_thread::get_id());
   };
   for (int call = 0; call < 2; ++call) {
@@ -112,10 +112,10 @@ TEST(ParallelFor, RegionNeverExceedsResolvedThreadCount) {
   SetParallelThreads(8);
   ParallelFor(0, 256, 1, [](std::int64_t, std::int64_t) {});
   SetParallelThreads(3);
-  std::mutex mu;
+  shflbw::Mutex mu;
   std::set<std::thread::id> ids;
   ParallelFor(0, 256, 1, [&](std::int64_t, std::int64_t) {
-    std::lock_guard<std::mutex> lock(mu);
+    shflbw::MutexLock lock(mu);
     ids.insert(std::this_thread::get_id());
   });
   EXPECT_LE(ids.size(), 3u);
@@ -189,7 +189,7 @@ TEST(ParallelFor, ConcurrentRegionsGetDisjointWorkerPartitions) {
   // their chunks. The partitions must be disjoint: a pool worker serves
   // exactly one region at a time.
   std::atomic<int> regions_started{0};
-  std::mutex mu;
+  shflbw::Mutex mu;
   std::set<std::thread::id> ids[2];
   std::thread::id caller_ids[2];
   std::vector<std::thread> callers;
@@ -201,7 +201,7 @@ TEST(ParallelFor, ConcurrentRegionsGetDisjointWorkerPartitions) {
       // first chunk of each region waits for the other region to exist.
       ParallelFor(0, 64, 1, [&](std::int64_t, std::int64_t) {
         while (regions_started.load() < 2) std::this_thread::yield();
-        std::lock_guard<std::mutex> lock(mu);
+        shflbw::MutexLock lock(mu);
         ids[t].insert(std::this_thread::get_id());
       });
     });

@@ -1,0 +1,6 @@
+// Fixture: malformed suppressions are findings and grant nothing.
+// SHFLBW_LINT_ALLOW(raw-sync)
+std::mutex mu;
+// SHFLBW_LINT_ALLOW(not-a-rule): misspelled rule name
+// SHFLBW_LINT_ALLOW(raw-sync):
+std::mutex mu2;

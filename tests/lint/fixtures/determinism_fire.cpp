@@ -1,0 +1,10 @@
+// Fixture: nondeterminism sources in library code.
+#pragma float_control(precise, off)
+#pragma GCC optimize("O3")
+int Pick() {
+  std::unordered_map<int, int> m;
+  int seed = rand();
+  long t = time(nullptr);
+  std::random_device rd;
+  return seed;
+}

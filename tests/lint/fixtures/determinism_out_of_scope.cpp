@@ -1,0 +1,6 @@
+// Fixture: the determinism identifier rules apply to src/ only —
+// benches may use rand() and unordered containers freely.
+int Jitter() {
+  std::unordered_map<int, int> m;
+  return rand();
+}

@@ -1,0 +1,3 @@
+// Fixture: a justified SHFLBW_LINT_ALLOW suppresses determinism.
+// SHFLBW_LINT_ALLOW(determinism): scratch map, never iterated in order-sensitive code
+std::unordered_map<int, int> scratch;

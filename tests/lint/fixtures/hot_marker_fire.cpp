@@ -1,0 +1,8 @@
+// Fixture: marker discipline — nested BEGIN, dangling END, unclosed.
+void Kernel() {
+  SHFLBW_HOT_BEGIN;
+  SHFLBW_HOT_BEGIN;
+  SHFLBW_HOT_END;
+  SHFLBW_HOT_END;
+  SHFLBW_HOT_BEGIN;
+}

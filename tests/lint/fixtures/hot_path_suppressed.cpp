@@ -1,0 +1,7 @@
+// Fixture: a justified SHFLBW_LINT_ALLOW suppresses hot-path.
+void Kernel(Trace* t) {
+  SHFLBW_HOT_BEGIN;
+  // SHFLBW_LINT_ALLOW(hot-path): first-tile-only instrumentation
+  t->push_back(1);
+  SHFLBW_HOT_END;
+}

@@ -1,0 +1,4 @@
+// Fixture: src/common/logging.cpp is the one sanctioned sink.
+void Emit(const char* msg) {
+  std::cerr << msg;
+}

@@ -1,0 +1,10 @@
+// Fixture: direct console output in library code.
+#include <cstdio>
+#include <iostream>
+
+void Report(int n) {
+  std::cout << n;
+  std::cerr << "oops";
+  printf("%d", n);
+  fprintf(stderr, "%d", n);
+}

@@ -1,0 +1,16 @@
+// Fixture: status-returning declarations must carry [[nodiscard]].
+// Enum definitions, attributed declarations, variables and out-of-line
+// qualified definitions are all negatives.
+enum class SubmitStatus { kAccepted, kRejectedQueueFull };
+
+class FakeServer {
+ public:
+  SubmitStatus Submit(int req);
+  [[nodiscard]] SubmitStatus TrySubmit(int req);
+  ResponseStatus Poll() const;
+};
+
+SubmitStatus FakeServer::Submit(int req) {
+  SubmitStatus verdict = SubmitStatus::kAccepted;
+  return verdict;
+}

@@ -1,0 +1,6 @@
+// Fixture: a justified SHFLBW_LINT_ALLOW suppresses nodiscard-status.
+class LegacyShim {
+ public:
+  // SHFLBW_LINT_ALLOW(nodiscard-status): legacy fire-and-forget API kept for ABI
+  SubmitStatus Submit(int req);
+};

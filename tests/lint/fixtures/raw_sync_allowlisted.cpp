@@ -1,0 +1,7 @@
+// Fixture: the annotated locking layer itself may wrap the std
+// primitives — it is the one allowlisted file for raw-sync.
+#include <mutex>
+
+struct Mutex {
+  std::mutex raw;
+};

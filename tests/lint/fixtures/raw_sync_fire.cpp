@@ -1,0 +1,12 @@
+// Fixture: raw-sync fires on the std primitives and their headers.
+#include <mutex>
+#include <condition_variable>
+
+struct Widget {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void Use(Widget& w) {
+  std::lock_guard<std::mutex> lock(w.mu);
+}

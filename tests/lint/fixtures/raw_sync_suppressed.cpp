@@ -1,0 +1,5 @@
+// Fixture: a justified SHFLBW_LINT_ALLOW suppresses raw-sync.
+struct Widget {
+  // SHFLBW_LINT_ALLOW(raw-sync): interop shim for a third-party API
+  std::mutex mu;
+};

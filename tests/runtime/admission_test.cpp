@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "quality/quality_planner.h"
 #include "runtime/server.h"
@@ -446,7 +447,7 @@ TEST(BatchServer, DrainIsCorrectConcurrentWithDeadlineSheds) {
   BatchServer server(SmallTransformer(), opts);
   server.Warmup();
 
-  std::mutex futures_mu;
+  shflbw::Mutex futures_mu;
   std::vector<std::future<Response>> futures;
   std::atomic<bool> done{false};
 
@@ -461,7 +462,7 @@ TEST(BatchServer, DrainIsCorrectConcurrentWithDeadlineSheds) {
         if (i % 2 == 1) req.deadline_seconds = 1e-9;
         std::future<Response> fut;
         if (server.Submit(req, &fut) == SubmitStatus::kAccepted) {
-          std::lock_guard<std::mutex> lock(futures_mu);
+          shflbw::MutexLock lock(futures_mu);
           futures.push_back(std::move(fut));
         }
       }
@@ -472,11 +473,11 @@ TEST(BatchServer, DrainIsCorrectConcurrentWithDeadlineSheds) {
     while (!done.load()) {
       std::size_t snapshot = 0;
       {
-        std::lock_guard<std::mutex> lock(futures_mu);
+        shflbw::MutexLock lock(futures_mu);
         snapshot = futures.size();
       }
       server.Drain();
-      std::lock_guard<std::mutex> lock(futures_mu);
+      shflbw::MutexLock lock(futures_mu);
       for (std::size_t i = 0; i < snapshot; ++i) {
         EXPECT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
                   std::future_status::ready)
@@ -495,7 +496,7 @@ TEST(BatchServer, DrainIsCorrectConcurrentWithDeadlineSheds) {
   EXPECT_EQ(stats.submitted,
             static_cast<std::uint64_t>(kSubmitters * kPerSubmitter) + 1);
   EXPECT_EQ(stats.submitted, stats.completed + stats.shed);
-  std::lock_guard<std::mutex> lock(futures_mu);
+  shflbw::MutexLock lock(futures_mu);
   for (auto& f : futures) {
     Response resp = f.get();
     if (resp.status == ResponseStatus::kOk) {

@@ -8,13 +8,13 @@
 #include <chrono>
 #include <future>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "runtime/server.h"
 
@@ -279,7 +279,7 @@ TEST(BatchServer, DrainNeverReturnsEarlyUnderConcurrentSubmits) {
   opts.max_batch = 4;
   BatchServer server(SmallTransformer(), opts);
 
-  std::mutex futures_mu;
+  shflbw::Mutex futures_mu;
   std::vector<std::future<Response>> futures;
   std::atomic<bool> done{false};
 
@@ -291,7 +291,7 @@ TEST(BatchServer, DrainNeverReturnsEarlyUnderConcurrentSubmits) {
         req.activation_seed =
             0x4000u + static_cast<std::uint64_t>(t * 100 + i);
         std::future<Response> fut = server.Submit(req);
-        std::lock_guard<std::mutex> lock(futures_mu);
+        shflbw::MutexLock lock(futures_mu);
         futures.push_back(std::move(fut));
       }
     });
@@ -304,13 +304,13 @@ TEST(BatchServer, DrainNeverReturnsEarlyUnderConcurrentSubmits) {
       // return would surface here as a non-ready future).
       std::vector<std::size_t> snapshot_ids;
       {
-        std::lock_guard<std::mutex> lock(futures_mu);
+        shflbw::MutexLock lock(futures_mu);
         for (std::size_t i = 0; i < futures.size(); ++i) {
           snapshot_ids.push_back(i);
         }
       }
       server.Drain();
-      std::lock_guard<std::mutex> lock(futures_mu);
+      shflbw::MutexLock lock(futures_mu);
       for (std::size_t i : snapshot_ids) {
         EXPECT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
                   std::future_status::ready)
@@ -329,7 +329,7 @@ TEST(BatchServer, DrainNeverReturnsEarlyUnderConcurrentSubmits) {
   EXPECT_EQ(stats.submitted,
             static_cast<std::uint64_t>(kSubmitters * kPerSubmitter));
   EXPECT_EQ(stats.completed, stats.submitted);
-  std::lock_guard<std::mutex> lock(futures_mu);
+  shflbw::MutexLock lock(futures_mu);
   for (auto& f : futures) EXPECT_GT(f.get().output.size(), 0u);
 }
 

@@ -1,0 +1,204 @@
+// C++ lexer for shflbw_lint (see lint.h). Emits identifiers, literals,
+// comments, preprocessor lines and single-character punctuation with
+// exact line numbers. It does not need to be a full C++ lexer — only
+// faithful enough that the token-pattern rules never misread a string
+// or comment as code (the classic grep failure mode this tool exists
+// to avoid).
+
+#include <cctype>
+
+#include "lint/lint.h"
+
+namespace shflbw {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        out.push_back(Directive());
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == '/' || src_[pos_ + 1] == '*')) {
+        out.push_back(Comment());
+        continue;
+      }
+      if (c == '"') {
+        // Raw strings are introduced by an R (or uR/u8R/LR) glued to
+        // the quote; the preceding ident token already carries the
+        // prefix, so peeking one token back is enough.
+        const bool raw = !out.empty() && out.back().kind == TokKind::kIdent &&
+                         !out.back().text.empty() &&
+                         out.back().text.back() == 'R';
+        out.push_back(raw ? RawString() : String('"', TokKind::kString));
+        continue;
+      }
+      if (c == '\'') {
+        out.push_back(String('\'', TokKind::kChar));
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        out.push_back(Ident());
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        out.push_back(Number());
+        continue;
+      }
+      out.push_back(Token{TokKind::kPunct, std::string(1, c), line_});
+      ++pos_;
+    }
+    return out;
+  }
+
+ private:
+  /// Consumes to end of line, honouring backslash continuations, and
+  /// returns the whole directive (text preserved for pragma/include
+  /// checks). Comments inside the directive are left verbatim — the
+  /// rules only substring-match directive text.
+  Token Directive() {
+    Token t{TokKind::kDirective, "", line_};
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!t.text.empty() && t.text.back() == '\\') {
+          t.text.pop_back();
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      t.text.push_back(c);
+      ++pos_;
+    }
+    return t;
+  }
+
+  Token Comment() {
+    Token t{TokKind::kComment, "", line_};
+    if (src_[pos_ + 1] == '/') {
+      while (pos_ < src_.size() && src_[pos_] != '\n') {
+        t.text.push_back(src_[pos_++]);
+      }
+      return t;
+    }
+    // Block comment: scan to */ counting newlines.
+    t.text += "/*";
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '*' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        t.text += "*/";
+        pos_ += 2;
+        return t;
+      }
+      if (c == '\n') ++line_;
+      t.text.push_back(c);
+      ++pos_;
+    }
+    return t;  // unterminated: ends at EOF
+  }
+
+  Token String(char quote, TokKind kind) {
+    Token t{kind, "", line_};
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == quote) {
+        ++pos_;
+        return t;
+      }
+      if (c == '\n') ++line_;  // ill-formed, but keep line counts right
+      ++pos_;
+    }
+    return t;
+  }
+
+  Token RawString() {
+    Token t{TokKind::kString, "", line_};
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim.push_back(src_[pos_++]);
+    ++pos_;  // '('
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_.compare(pos_, close.size(), close) == 0) {
+        pos_ += close.size();
+        return t;
+      }
+      ++pos_;
+    }
+    return t;
+  }
+
+  Token Ident() {
+    Token t{TokKind::kIdent, "", line_};
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
+      t.text.push_back(src_[pos_++]);
+    }
+    return t;
+  }
+
+  Token Number() {
+    Token t{TokKind::kNumber, "", line_};
+    // Good enough for rule purposes: digits plus the usual literal
+    // characters ('.', exponents, suffixes, hex, digit separators).
+    while (pos_ < src_.size() &&
+           (IsIdentChar(src_[pos_]) || src_[pos_] == '.' || src_[pos_] == '\'')) {
+      // A digit separator quote is only consumed when a digit follows;
+      // otherwise it opens a char literal.
+      if (src_[pos_] == '\'' &&
+          !(pos_ + 1 < src_.size() &&
+            std::isxdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        break;
+      }
+      t.text.push_back(src_[pos_++]);
+    }
+    return t;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace lint
+}  // namespace shflbw

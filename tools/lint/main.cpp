@@ -1,0 +1,121 @@
+// CLI driver for shflbw_lint (see lint.h for the rule catalogue).
+//
+//   shflbw_lint [--root DIR] PATH...
+//
+// Each PATH is a file or directory relative to --root (default ".").
+// Directories are walked recursively for .h/.cpp files in sorted order,
+// so output is deterministic. tests/lint/fixtures is always skipped:
+// those files violate rules on purpose. Exit codes: 0 clean, 1 findings,
+// 2 usage/IO error.
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
+}
+
+std::string ToRel(const fs::path& p, const fs::path& root) {
+  std::string s = fs::relative(p, root).generic_string();
+  return s;
+}
+
+bool SkippedPath(const std::string& rel) {
+  // Fixture files break the rules by design; the golden tests lint
+  // them with explicit pretend paths instead.
+  return rel.find("tests/lint/fixtures") != std::string::npos;
+}
+
+int Usage() {
+  std::cerr << "usage: shflbw_lint [--root DIR] PATH...\n"
+            << "  PATHs are files or directories relative to DIR "
+               "(default: .)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "shflbw_lint: bad --root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  // Expand inputs into a sorted, deduplicated file list.
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    const fs::path p = root / in;
+    if (fs::is_regular_file(p)) {
+      files.push_back(ToRel(p, root));
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      std::cerr << "shflbw_lint: no such file or directory: " << in << "\n";
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(p), end; it != end; ++it) {
+      if (it->is_regular_file() && IsSourceFile(it->path())) {
+        files.push_back(ToRel(it->path(), root));
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t n_findings = 0;
+  std::size_t n_files = 0;
+  for (const std::string& rel : files) {
+    if (SkippedPath(rel)) continue;
+    std::ifstream f(root / rel, std::ios::binary);
+    if (!f) {
+      std::cerr << "shflbw_lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    ++n_files;
+    for (const shflbw::lint::Finding& finding :
+         shflbw::lint::LintSource(rel, buf.str())) {
+      std::cout << shflbw::lint::FormatFinding(finding) << "\n";
+      ++n_findings;
+    }
+  }
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::cout << "shflbw_lint: " << n_files << " files, " << n_findings
+            << " finding" << (n_findings == 1 ? "" : "s") << " (" << ms
+            << " ms)\n";
+  return n_findings == 0 ? 0 : 1;
+}
