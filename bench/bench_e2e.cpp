@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/thread_pool.h"
 #include "runtime/engine.h"
 
@@ -118,6 +119,7 @@ bool WriteJson(const std::string& path, const EngineOptions& opts,
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"e2e\",\n");
+  shflbw::bench::WriteProvenance(f);
   std::fprintf(f, "  \"gpu\": \"%s\",\n",
                GetGpuSpec(opts.planner.arch).name.c_str());
   std::fprintf(f, "  \"density\": %.3f,\n  \"v\": %d,\n",

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/fp16.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -247,6 +248,7 @@ bool WriteJson(const std::string& path, const std::vector<BenchCase>& cases,
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"hotpath\",\n");
+  shflbw::bench::WriteProvenance(f);
   std::fprintf(f, "  \"threads\": %d,\n", threads);
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/thread_pool.h"
 #include "model/weight_synth.h"
 #include "prune/block_wise.h"
@@ -316,6 +317,7 @@ bool WriteJson(const std::string& path, const EngineOptions& base,
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"quality\",\n");
+  shflbw::bench::WriteProvenance(f);
   std::fprintf(f, "  \"gpu\": \"%s\",\n",
                GetGpuSpec(base.planner.arch).name.c_str());
   std::fprintf(f, "  \"v\": %d,\n  \"threads\": %d,\n", base.planner.v,

@@ -63,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -248,6 +249,8 @@ struct TraceScenario {
   bool retried_run = false;   // >= 1 run span with retries > 0
   bool wrote_trace = false;
   bool wrote_metrics = false;
+  bool wrote_status = false;  // BENCH_serving_statusz.{txt,json}
+  bool wrote_flight = false;  // BENCH_serving_flight.json
 };
 
 /// Drives one server through all three interesting request fates with
@@ -345,6 +348,12 @@ TraceScenario RunTraceScenario(const ModelDesc& model,
                       text.size();
     std::fclose(mf);
   }
+  // The operator-facing snapshot of the same eventful run: statusz
+  // (both renderings) and the flight-recorder ring, committed as CI
+  // artifacts next to the trace so reviewers can see what the dumps
+  // look like after retries, sheds and a ladder walk.
+  r.wrote_status = server.DumpStatus("BENCH_serving_statusz");
+  r.wrote_flight = server.DumpFlightRecorder("BENCH_serving_flight.json");
   return r;
 }
 
@@ -601,9 +610,17 @@ void WriteOverloadJson(std::FILE* f, const char* name,
   // The engagement curve: plan level per arrival in submission order
   // (-1 rejected at admission, -2 shed at seal) — how far and how long
   // the controller walked down the ladder through the burst.
-  std::fprintf(f, "],\n      \"engagement_curve\": [");
-  for (std::size_t i = 0; i < r.curve.size(); ++i) {
-    std::fprintf(f, "%s%d", i ? ", " : "", r.curve[i]);
+  // Run-length encoded as [value, count] pairs: the curve is long runs
+  // of a single level by construction, so RLE keeps the committed
+  // baselines compact without losing the level-walk structure.
+  std::fprintf(f, "],\n      \"engagement_curve_rle\": [");
+  bool first_run = true;
+  for (std::size_t i = 0; i < r.curve.size();) {
+    std::size_t j = i;
+    while (j < r.curve.size() && r.curve[j] == r.curve[i]) ++j;
+    std::fprintf(f, "%s[%d, %zu]", first_run ? "" : ", ", r.curve[i], j - i);
+    first_run = false;
+    i = j;
   }
   std::fprintf(f, "]}%s\n", trailing_comma ? "," : "");
 }
@@ -623,6 +640,7 @@ bool WriteJson(const std::string& path, const ModelDesc& model,
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"serving\",\n");
+  shflbw::bench::WriteProvenance(f);
   std::fprintf(f, "  \"model\": \"%s\",\n  \"config\": \"%s\",\n",
                model.name.c_str(), config.c_str());
   std::fprintf(f, "  \"gpu\": \"%s\",\n",
@@ -1033,6 +1051,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: could not write %s\n",
                  !trace.wrote_trace ? "the Chrome trace dump"
                                     : "the Prometheus metrics dump");
+    ok = false;
+  }
+  if (!trace.wrote_status || !trace.wrote_flight) {
+    std::fprintf(stderr, "FAIL: could not write %s\n",
+                 !trace.wrote_status ? "the statusz dump"
+                                     : "the flight-recorder dump");
     ok = false;
   }
   return ok ? 0 : 1;

@@ -5,6 +5,10 @@
 #include <optional>
 #include <string>
 
+#include "common/build_info.h"
+#include "common/thread_pool.h"
+#include "obs/json_escape.h"
+
 namespace shflbw::bench {
 
 inline void Title(const std::string& t) {
@@ -23,6 +27,30 @@ inline std::string Cell(const std::optional<double>& v) {
   if (!v) return "   n/a";
   std::snprintf(buf, sizeof(buf), "%5.2fx", *v);
   return buf;
+}
+
+/// Emits the `"provenance": {...},` member every BENCH_*.json carries
+/// (called right after the opening `{ "bench": ... }` line): build sha,
+/// compiler, flags, SHFLBW_OBS state and the resolved thread count, so
+/// tools/benchdiff can label the two runs it compares and a regression
+/// report says what built each side. Keys under provenance never gate
+/// (benchdiff's default rules ignore them).
+inline void WriteProvenance(std::FILE* f) {
+  const BuildInfo& bi = GetBuildInfo();
+  std::fprintf(f, "  \"provenance\": {\n");
+  std::fprintf(f, "    \"git_sha\": \"%s\",\n",
+               obs::JsonEscape(bi.git_sha).c_str());
+  std::fprintf(f, "    \"compiler\": \"%s\",\n",
+               obs::JsonEscape(bi.compiler).c_str());
+  std::fprintf(f, "    \"build_type\": \"%s\",\n",
+               obs::JsonEscape(bi.build_type).c_str());
+  std::fprintf(f, "    \"cxx_flags\": \"%s\",\n",
+               obs::JsonEscape(bi.cxx_flags).c_str());
+  std::fprintf(f, "    \"cxx_standard\": %ld,\n", bi.cxx_standard);
+  std::fprintf(f, "    \"obs_compiled_in\": %s,\n",
+               bi.obs_compiled_in ? "true" : "false");
+  std::fprintf(f, "    \"threads\": %d\n", ParallelThreadCount());
+  std::fprintf(f, "  },\n");
 }
 
 }  // namespace shflbw::bench

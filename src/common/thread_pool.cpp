@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/thread_annotations.h"
+#include "obs/watchdog.h"
 
 namespace shflbw {
 namespace {
@@ -51,6 +53,11 @@ struct Job {
   /// before returning, so no worker still references the
   /// stack-allocated Job afterwards.
   int attached = 0;
+  /// Region heartbeat slot in obs::GlobalHeartbeats() (-1 = none):
+  /// every retired chunk beats it, so a wedged region shows a stale
+  /// heartbeat and the watchdog can tell "stuck in a kernel" from
+  /// "stuck in the scheduler". Registered/armed by ParallelFor.
+  int heartbeat_slot = -1;
 
   void Drain() {
     while (!failed.load(std::memory_order_relaxed)) {
@@ -65,6 +72,7 @@ struct Job {
         if (!error) error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
       }
+      obs::GlobalHeartbeats().Beat(heartbeat_slot, NowSeconds());
     }
   }
 
@@ -267,7 +275,14 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
   job.grain = grain;
   job.end = end;
   job.chunks = chunks;
+  // Publish a region heartbeat for the watchdog (obs/watchdog.h). A
+  // full slot table degrades to slot -1, which every heartbeat op
+  // ignores — liveness reporting must never gate the actual work.
+  obs::HeartbeatRegistry& heartbeats = obs::GlobalHeartbeats();
+  job.heartbeat_slot = heartbeats.Register("parallel_for");
+  heartbeats.Arm(job.heartbeat_slot, NowSeconds());
   WorkerPool::Instance().Run(job, threads - 1);
+  heartbeats.Unregister(job.heartbeat_slot);
   // Run() returned, so attached == 0 and no worker can still be
   // writing; the lock inside TakeError orders this read after the
   // failing worker's store.

@@ -58,6 +58,12 @@ void SetParallelThreads(int n);
 /// to the proportional split. Outputs stay bit-identical to serial
 /// regardless of how workers are partitioned, because chunk index — not
 /// worker identity — determines what is computed.
+///
+/// Liveness: every parallel region registers a heartbeat slot in
+/// obs::GlobalHeartbeats() ("parallel_for") and beats it once per
+/// retired chunk, so a watchdog (obs/watchdog.h) can distinguish a
+/// region wedged inside kernel code from a scheduler stall. Serial
+/// fallbacks publish nothing.
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& fn);
 

@@ -1,0 +1,172 @@
+#include "obs/statusz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_escape.h"
+
+namespace shflbw {
+namespace obs {
+namespace {
+
+void AppendJsonNumber(std::ostringstream& os, double v) {
+  // JSON has no Inf/NaN literals; null is the conventional stand-in.
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os << v;
+}
+
+}  // namespace
+
+StatusSection& StatusSection::AddText(const std::string& key,
+                                      const std::string& value) {
+  StatusItem item;
+  item.key = key;
+  item.text = value;
+  items.push_back(std::move(item));
+  return *this;
+}
+
+StatusSection& StatusSection::AddNumber(const std::string& key, double value) {
+  StatusItem item;
+  item.key = key;
+  item.number = value;
+  item.is_number = true;
+  items.push_back(std::move(item));
+  return *this;
+}
+
+StatusTable& StatusSection::AddTable(const std::string& table_name,
+                                     std::vector<std::string> columns) {
+  StatusTable table;
+  table.name = table_name;
+  table.columns = std::move(columns);
+  tables.push_back(std::move(table));
+  return tables.back();
+}
+
+StatusSection& StatusReport::AddSection(const std::string& name) {
+  StatusSection section;
+  section.name = name;
+  sections.push_back(std::move(section));
+  return sections.back();
+}
+
+std::string StatusReport::RenderText() const {
+  std::ostringstream os;
+  os.precision(9);
+  os << "==== " << title << " ====\n";
+  for (const StatusSection& section : sections) {
+    os << "\n[" << section.name << "]\n";
+    std::size_t key_width = 0;
+    for (const StatusItem& item : section.items) {
+      key_width = std::max(key_width, item.key.size());
+    }
+    for (const StatusItem& item : section.items) {
+      os << "  " << item.key
+         << std::string(key_width - item.key.size() + 2, ' ');
+      if (item.is_number) {
+        os << item.number;
+      } else {
+        os << item.text;
+      }
+      os << "\n";
+    }
+    for (const StatusTable& table : section.tables) {
+      os << "  " << table.name << ":\n";
+      // Column widths from header + cells; rows shorter than the
+      // header render their missing cells empty.
+      std::vector<std::size_t> widths(table.columns.size(), 0);
+      for (std::size_t c = 0; c < table.columns.size(); ++c) {
+        widths[c] = table.columns[c].size();
+      }
+      for (const std::vector<std::string>& row : table.rows) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+          widths[c] = std::max(widths[c], row[c].size());
+        }
+      }
+      auto emit_row = [&](const std::vector<std::string>& cells) {
+        os << "   ";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+          const std::string& cell = c < cells.size() ? cells[c] : "";
+          os << " " << cell << std::string(widths[c] - cell.size(), ' ');
+        }
+        os << "\n";
+      };
+      emit_row(table.columns);
+      for (const std::vector<std::string>& row : table.rows) emit_row(row);
+    }
+  }
+  return os.str();
+}
+
+std::string StatusReport::RenderJson() const {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\n  \"title\": \"" << JsonEscape(title) << "\",\n";
+  os << "  \"sections\": [";
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const StatusSection& section = sections[s];
+    os << (s == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << JsonEscape(section.name) << "\",\n";
+    os << "     \"items\": {";
+    for (std::size_t i = 0; i < section.items.size(); ++i) {
+      const StatusItem& item = section.items[i];
+      os << (i == 0 ? "" : ", ");
+      os << "\"" << JsonEscape(item.key) << "\": ";
+      if (item.is_number) {
+        AppendJsonNumber(os, item.number);
+      } else {
+        os << "\"" << JsonEscape(item.text) << "\"";
+      }
+    }
+    os << "},\n";
+    os << "     \"tables\": [";
+    for (std::size_t t = 0; t < section.tables.size(); ++t) {
+      const StatusTable& table = section.tables[t];
+      os << (t == 0 ? "" : ", ");
+      os << "{\"name\": \"" << JsonEscape(table.name) << "\", \"columns\": [";
+      for (std::size_t c = 0; c < table.columns.size(); ++c) {
+        os << (c == 0 ? "" : ", ") << "\"" << JsonEscape(table.columns[c])
+           << "\"";
+      }
+      os << "], \"rows\": [";
+      for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        os << (r == 0 ? "" : ", ") << "[";
+        for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+          os << (c == 0 ? "" : ", ") << "\"" << JsonEscape(table.rows[r][c])
+             << "\"";
+        }
+        os << "]";
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << (sections.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+bool StatusReport::DumpText(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << RenderText();
+  os.flush();
+  return os.good();
+}
+
+bool StatusReport::DumpJson(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << RenderJson();
+  os.flush();
+  return os.good();
+}
+
+}  // namespace obs
+}  // namespace shflbw

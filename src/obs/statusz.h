@@ -1,0 +1,65 @@
+// statusz: a structured "what is this process doing right now?"
+// snapshot, rendered as aligned human-readable text and as JSON. The
+// obs layer owns only the report structure and the renderers — the
+// runtime composes the content (BatchServer::Status() fills sections
+// for build info, queue, ladder, replicas, cache, pool, watchdog, and
+// the per-layer plan/drift table), which keeps obs/ independent of
+// runtime/ and concentrates all file output in statusz.cpp, one of the
+// lint-sanctioned sinks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shflbw {
+namespace obs {
+
+/// One key/value line in a section. Numeric items render as JSON
+/// numbers; text items as JSON strings.
+struct StatusItem {
+  std::string key;
+  std::string text;
+  double number = 0;
+  bool is_number = false;
+};
+
+/// A small fixed-column table (replica states, ladder levels, plan
+/// rows). Cells are preformatted strings; JSON renders rows as string
+/// arrays so the two renderings cannot drift.
+struct StatusTable {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct StatusSection {
+  std::string name;
+  std::vector<StatusItem> items;
+  std::vector<StatusTable> tables;
+
+  StatusSection& AddText(const std::string& key, const std::string& value);
+  StatusSection& AddNumber(const std::string& key, double value);
+  StatusTable& AddTable(const std::string& table_name,
+                        std::vector<std::string> columns);
+};
+
+/// The whole snapshot.
+struct StatusReport {
+  std::string title;
+  std::vector<StatusSection> sections;
+
+  StatusSection& AddSection(const std::string& name);
+
+  /// Aligned plain text, one section per block.
+  [[nodiscard]] std::string RenderText() const;
+  /// `{"title": ..., "sections": [{"name": ..., "items": {...},
+  /// "tables": [...]}]}`; numbers as numbers, text escaped.
+  [[nodiscard]] std::string RenderJson() const;
+
+  /// Write the renderings to disk; false on I/O failure.
+  [[nodiscard]] bool DumpText(const std::string& path) const;
+  [[nodiscard]] bool DumpJson(const std::string& path) const;
+};
+
+}  // namespace obs
+}  // namespace shflbw

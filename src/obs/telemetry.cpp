@@ -5,7 +5,8 @@ namespace obs {
 
 Telemetry::Telemetry(const TelemetryOptions& options)
     : metrics_(options.metrics),
-      trace_(options.trace_capacity > 0 ? options.trace_capacity : 1) {
+      trace_(options.trace_capacity > 0 ? options.trace_capacity : 1),
+      flight_(options.flight_capacity > 0 ? options.flight_capacity : 1) {
   trace_.SetEnabled(options.tracing);
 }
 

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -36,6 +37,9 @@ struct TelemetryOptions {
   /// Span ring capacity; the trace keeps the first `trace_capacity`
   /// spans of the run and drops the rest (TraceRecorder::dropped()).
   std::size_t trace_capacity = 1 << 16;
+  /// Flight-recorder ring capacity (always-on postmortem buffer of the
+  /// last N scheduler events; see obs/flight_recorder.h).
+  std::size_t flight_capacity = FlightRecorder::kDefaultCapacity;
 };
 
 class Telemetry {
@@ -46,6 +50,8 @@ class Telemetry {
   const Registry& registry() const { return registry_; }
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
 
   /// True when histogram/profiling recording should happen.
   bool metrics_on() const {
@@ -68,6 +74,7 @@ class Telemetry {
   std::atomic<bool> metrics_;
   Registry registry_;
   TraceRecorder trace_;
+  FlightRecorder flight_;
 };
 
 }  // namespace obs

@@ -1,0 +1,143 @@
+#include "obs/watchdog.h"
+
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace shflbw {
+namespace obs {
+
+int HeartbeatRegistry::Register(const std::string& name) {
+  MutexLock lock(mu_);
+  for (int i = 0; i < kMaxSlots; ++i) {
+    Slot& s = slots_[i];
+    if (s.used) continue;
+    s.used = true;
+    std::strncpy(s.name, name.c_str(), sizeof(s.name) - 1);
+    s.name[sizeof(s.name) - 1] = '\0';
+    s.armed.store(0, std::memory_order_relaxed);
+    s.beats.store(0, std::memory_order_relaxed);
+    s.beat_seconds.store(0, std::memory_order_relaxed);
+    return i;
+  }
+  return -1;  // table full: heartbeats degrade, callers keep running
+}
+
+void HeartbeatRegistry::Unregister(int slot) {
+  if (slot < 0 || slot >= kMaxSlots) return;
+  MutexLock lock(mu_);
+  slots_[slot].armed.store(0, std::memory_order_relaxed);
+  slots_[slot].used = false;
+}
+
+void HeartbeatRegistry::Arm(int slot, double now_seconds) {
+  if (slot < 0 || slot >= kMaxSlots) return;
+  Slot& s = slots_[slot];
+  s.beat_seconds.store(now_seconds, std::memory_order_relaxed);
+  s.beats.fetch_add(1, std::memory_order_relaxed);
+  s.armed.store(1, std::memory_order_release);
+}
+
+void HeartbeatRegistry::Beat(int slot, double now_seconds) {
+  if (slot < 0 || slot >= kMaxSlots) return;
+  Slot& s = slots_[slot];
+  s.beat_seconds.store(now_seconds, std::memory_order_relaxed);
+  s.beats.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HeartbeatRegistry::Disarm(int slot) {
+  if (slot < 0 || slot >= kMaxSlots) return;
+  slots_[slot].armed.store(0, std::memory_order_release);
+}
+
+std::vector<HeartbeatRegistry::View> HeartbeatRegistry::Snapshot() const {
+  std::vector<View> out;
+  MutexLock lock(mu_);
+  for (int i = 0; i < kMaxSlots; ++i) {
+    const Slot& s = slots_[i];
+    if (!s.used) continue;
+    View v;
+    v.name = s.name;
+    v.slot = i;
+    v.armed = s.armed.load(std::memory_order_acquire) != 0;
+    v.beat_seconds = s.beat_seconds.load(std::memory_order_relaxed);
+    v.beats = s.beats.load(std::memory_order_relaxed);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+HeartbeatRegistry& GlobalHeartbeats() {
+  static HeartbeatRegistry registry;
+  return registry;
+}
+
+Watchdog::Watchdog(WatchdogOptions options,
+                   std::vector<const HeartbeatRegistry*> registries,
+                   StallCallback on_stall)
+    : options_(options),
+      registries_(std::move(registries)),
+      on_stall_(std::move(on_stall)) {
+  if (options_.poll_interval_seconds <= 0) {
+    options_.poll_interval_seconds = 0.05;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Loop() {
+  std::vector<std::vector<bool>> episode(
+      registries_.size(),
+      std::vector<bool>(HeartbeatRegistry::kMaxSlots, false));
+  UniqueLock lock(mu_);
+  while (!stop_) {
+    const bool stopping = cv_.WaitFor(
+        mu_, options_.poll_interval_seconds,
+        [this]() SHFLBW_REQUIRES(mu_) { return stop_; });
+    if (stopping) return;
+    lock.Unlock();
+    Poll(episode);
+    lock.Lock();
+  }
+}
+
+void Watchdog::Poll(std::vector<std::vector<bool>>& episode) {
+  const double now = NowSeconds();
+  for (std::size_t r = 0; r < registries_.size(); ++r) {
+    const std::vector<HeartbeatRegistry::View> views =
+        registries_[r]->Snapshot();
+    // Episode flags for slots that dropped out of the snapshot (slot
+    // freed) must clear, so walk the snapshot and clear the rest.
+    std::vector<bool> seen(HeartbeatRegistry::kMaxSlots, false);
+    for (const HeartbeatRegistry::View& v : views) {
+      if (v.slot < 0 || v.slot >= HeartbeatRegistry::kMaxSlots) continue;
+      seen[v.slot] = true;
+      const double age = now - v.beat_seconds;
+      if (!v.armed || age <= options_.stall_budget_seconds) {
+        episode[r][v.slot] = false;  // healthy or idle: close any episode
+        continue;
+      }
+      if (episode[r][v.slot]) continue;  // already reported this episode
+      episode[r][v.slot] = true;
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      if (on_stall_) on_stall_(v.name, age);
+    }
+    for (int i = 0; i < HeartbeatRegistry::kMaxSlots; ++i) {
+      if (!seen[i]) episode[r][i] = false;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace shflbw

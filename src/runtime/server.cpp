@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <string>
 #include <utility>
 
+#include "common/build_info.h"
 #include "common/check.h"
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "quality/quality_planner.h"
+#include "runtime/format.h"
 
 namespace shflbw {
 namespace runtime {
@@ -94,6 +99,22 @@ void ValidateServerOptions(const ServerOptions& opts) {
   SHFLBW_CHECK_MSG(r.backoff_multiplier >= 1.0,
                    "retry.backoff_multiplier must be >= 1, got "
                        << r.backoff_multiplier);
+
+  const obs::WatchdogOptions& w = opts.watchdog;
+  SHFLBW_CHECK_MSG(w.stall_budget_seconds > 0.0,
+                   "watchdog.stall_budget_seconds must be > 0, got "
+                       << w.stall_budget_seconds);
+  SHFLBW_CHECK_MSG(w.poll_interval_seconds > 0.0,
+                   "watchdog.poll_interval_seconds must be > 0, got "
+                       << w.poll_interval_seconds);
+  // A budget inside the coalesce window would flag every windowed seal
+  // as a stall: the replica is armed and silent, legitimately.
+  SHFLBW_CHECK_MSG(!w.enabled ||
+                       w.stall_budget_seconds > opts.coalesce_window_seconds,
+                   "watchdog.stall_budget_seconds ("
+                       << w.stall_budget_seconds
+                       << ") must exceed coalesce_window_seconds ("
+                       << opts.coalesce_window_seconds << ")");
 }
 
 BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
@@ -155,10 +176,21 @@ BatchServer::BatchServer(ModelDesc model, ServerOptions opts)
   RegisterMetrics();
   admission_ = AdmissionController(opts_.admission, opts_.replicas);
   controller_ = DegradationController(opts_.degradation, levels);
+  start_seconds_ = NowSeconds();
 
   threads_.reserve(engines_.size());
   for (int r = 0; r < static_cast<int>(engines_.size()); ++r) {
     threads_.emplace_back([this, r] { ReplicaLoop(r); });
+  }
+  if (opts_.watchdog.enabled) {
+    // Watches the replica heartbeats and the process-wide ParallelFor
+    // region heartbeats; the callback runs on the watchdog thread with
+    // no watchdog lock held, so it may take mu_.
+    watchdog_ = std::make_unique<obs::Watchdog>(
+        opts_.watchdog,
+        std::vector<const obs::HeartbeatRegistry*>{&heartbeats_,
+                                                   &obs::GlobalHeartbeats()},
+        [this](const std::string& name, double age) { OnStall(name, age); });
   }
 }
 
@@ -211,6 +243,8 @@ void BatchServer::RegisterMetrics() {
                                  "Requests admitted but not yet dispatched");
   g_level_ = &reg.GetGauge("shflbw_ladder_level",
                            "Degradation controller's current level");
+  c_stalls_ = &reg.GetCounter("shflbw_watchdog_stalls_total",
+                              "Stall episodes detected by the watchdog");
 }
 
 BatchServer::~BatchServer() { Shutdown(); }
@@ -268,14 +302,33 @@ std::future<Response> BatchServer::Enqueue(Request req, int force_level) {
   p.submit_time = NowSeconds();
   p.force_level = force_level;
   std::future<Response> fut = p.promise.get_future();
+  const std::uint64_t id = p.id;
+  const double submit_time = p.submit_time;
   queue_.push_back(std::move(p));
   c_submitted_->Add();
   g_queue_depth_->Set(static_cast<double>(queue_.size()));
+  obs::FlightEvent fe;
+  fe.kind = obs::FlightKind::kSubmit;
+  fe.t_seconds = submit_time;
+  fe.request_id = id;
+  fe.detail = static_cast<std::int32_t>(queue_.size());
+  telemetry_->flight().Record(fe);
   return fut;
 }
 
 void BatchServer::TraceAdmission(double begin, std::uint64_t id,
                                  SubmitStatus verdict) {
+  if (verdict != SubmitStatus::kAccepted) {
+    // Rejections go to the always-on flight ring (accepted submits are
+    // covered by Enqueue's kSubmit event).
+    obs::FlightEvent fe;
+    fe.kind = obs::FlightKind::kReject;
+    fe.t_seconds = NowSeconds();
+    fe.request_id = id;
+    fe.detail = static_cast<std::int32_t>(verdict);
+    fe.SetLabel(SubmitStatusName(verdict));
+    telemetry_->flight().Record(fe);
+  }
   if (!telemetry_->tracing_on()) return;
   obs::TraceEvent ev;
   ev.kind = obs::SpanKind::kAdmission;
@@ -391,6 +444,16 @@ void BatchServer::Drain() {
 }
 
 void BatchServer::Shutdown() {
+  // Stop the watchdog before anything else: its stall callback reads
+  // server state and must never observe the teardown as a "stall".
+  // Moved out under mu_ (a concurrent second caller moves an empty
+  // pointer), joined with no lock held — the callback takes mu_.
+  std::unique_ptr<obs::Watchdog> watchdog;
+  {
+    MutexLock lock(mu_);
+    watchdog = std::move(watchdog_);
+  }
+  watchdog.reset();
   std::vector<std::thread> to_join;
   {
     MutexLock lock(mu_);
@@ -466,13 +529,22 @@ void BatchServer::ReplicaLoop(int replica) {
   const std::size_t max_batch =
       static_cast<std::size_t>(std::max(1, opts_.max_batch));
   const bool metrics = telemetry_->metrics_on();
+  // Heartbeat discipline: armed whenever this thread owns work (from
+  // wait-return to batch retirement), disarmed while it legitimately
+  // blocks on an empty queue — so armed silence is always a stall.
+  const int hb = heartbeats_.Register("replica" + std::to_string(replica));
   UniqueLock lock(mu_);
   for (;;) {
+    heartbeats_.Disarm(hb);
     not_empty_.Wait(mu_,
                     [&]() SHFLBW_REQUIRES(mu_) { return stop_ || !queue_.empty(); });
+    heartbeats_.Arm(hb, NowSeconds());
     // Drain-on-shutdown: keep serving until the queue is empty, so
     // every future obtained from Submit resolves.
-    if (queue_.empty()) return;  // implies stop_
+    if (queue_.empty()) {  // implies stop_
+      heartbeats_.Unregister(hb);
+      return;
+    }
     // Coalescing window: hold a partial batch open briefly so closely
     // spaced requests fuse into one launch. Bounded (fairness — the
     // oldest request pays at most the window on top of its queue wait)
@@ -494,6 +566,7 @@ void BatchServer::ReplicaLoop(int replica) {
                          [&]() SHFLBW_REQUIRES(mu_) {
                            return stop_ || queue_.size() >= seal;
                          });
+      heartbeats_.Beat(hb, NowSeconds());
       if (queue_.empty()) continue;
     }
 
@@ -528,12 +601,37 @@ void BatchServer::ReplicaLoop(int replica) {
       // queue full of dead work is the strongest pressure signal there
       // is) and picks the level this batch runs at.
       level = controller_.OnSeal(depth_at_seal, opts_.queue_capacity);
+      if (controller_.level() != last_observed_level_) {
+        // The shared controller moved on this seal: flight-record the
+        // shift (old level in detail, new level in the level field).
+        obs::FlightEvent fe;
+        fe.kind = obs::FlightKind::kShift;
+        fe.t_seconds = seal_time;
+        fe.replica = static_cast<std::int8_t>(replica);
+        fe.level = static_cast<std::int16_t>(controller_.level());
+        fe.detail = last_observed_level_;
+        telemetry_->flight().Record(fe);
+        last_observed_level_ = controller_.level();
+      }
     }
     const std::size_t take = batch.size();
     const std::uint64_t batch_id = next_batch_id_++;
     g_queue_depth_->Set(static_cast<double>(queue_.size()));
     g_level_->Set(controller_.level());
     lock.Unlock();
+    heartbeats_.Beat(hb, NowSeconds());
+    {
+      obs::FlightEvent fe;
+      fe.kind = obs::FlightKind::kSeal;
+      fe.t_seconds = seal_time;
+      fe.batch_id = batch_id;
+      fe.replica = static_cast<std::int8_t>(replica);
+      fe.level = static_cast<std::int16_t>(level);
+      fe.width = static_cast<std::int32_t>(take);
+      fe.detail = static_cast<std::int32_t>(dropped.size());
+      fe.detail2 = static_cast<std::int32_t>(depth_at_seal);
+      telemetry_->flight().Record(fe);
+    }
     // Freed slots: wake every blocked Submit, not just one.
     if (take + dropped.size() > 1) {
       not_full_.NotifyAll();
@@ -592,6 +690,15 @@ void BatchServer::ReplicaLoop(int replica) {
       resp.plan_level = level;
       resp.queue_seconds = seal_time - p.submit_time;
       if (metrics) h_queue_seconds_->Record(resp.queue_seconds);
+      obs::FlightEvent fe;
+      fe.kind = obs::FlightKind::kShed;
+      fe.t_seconds = seal_time;
+      fe.request_id = p.id;
+      fe.batch_id = batch_id;
+      fe.replica = static_cast<std::int8_t>(replica);
+      fe.level = static_cast<std::int16_t>(level);
+      fe.value = resp.queue_seconds;
+      telemetry_->flight().Record(fe);
       p.promise.set_value(std::move(resp));
     }
 
@@ -616,6 +723,16 @@ void BatchServer::ReplicaLoop(int replica) {
     ctx.batch_id = batch_id;
     ctx.replica = replica;
     ctx.level = level;
+    {
+      obs::FlightEvent fe;
+      fe.kind = obs::FlightKind::kLaunch;
+      fe.t_seconds = dispatch_time;
+      fe.batch_id = batch_id;
+      fe.replica = static_cast<std::int8_t>(replica);
+      fe.level = static_cast<std::int16_t>(level);
+      fe.width = static_cast<std::int32_t>(take);
+      telemetry_->flight().Record(fe);
+    }
     int attempts = 0;
     bool batch_failed = false;
     double done = dispatch_time;
@@ -648,6 +765,18 @@ void BatchServer::ReplicaLoop(int replica) {
           }
           ++attempts;
           final_attempt_start = NowSeconds();
+          heartbeats_.Beat(hb, final_attempt_start);
+          {
+            obs::FlightEvent fe;
+            fe.kind = obs::FlightKind::kRetry;
+            fe.t_seconds = fail_time;
+            fe.batch_id = batch_id;
+            fe.replica = static_cast<std::int8_t>(replica);
+            fe.level = static_cast<std::int16_t>(level);
+            fe.width = static_cast<std::int32_t>(take);
+            fe.detail = attempts;
+            telemetry_->flight().Record(fe);
+          }
           if (tracing) {
             obs::TraceEvent ev;
             ev.kind = obs::SpanKind::kRetry;
@@ -665,6 +794,18 @@ void BatchServer::ReplicaLoop(int replica) {
       done = NowSeconds();
       const double retry_s = final_attempt_start - dispatch_time;
       const double run_s = done - final_attempt_start;
+      {
+        obs::FlightEvent fe;
+        fe.kind = obs::FlightKind::kComplete;
+        fe.t_seconds = done;
+        fe.batch_id = batch_id;
+        fe.replica = static_cast<std::int8_t>(replica);
+        fe.level = static_cast<std::int16_t>(level);
+        fe.width = static_cast<std::int32_t>(take);
+        fe.detail = attempts;
+        fe.value = run_s;
+        telemetry_->flight().Record(fe);
+      }
       if (metrics) {
         h_batch_width_->Record(static_cast<double>(take));
         h_run_seconds_->Record(run_s);
@@ -706,10 +847,21 @@ void BatchServer::ReplicaLoop(int replica) {
     } catch (...) {
       batch_failed = true;
       done = NowSeconds();
+      obs::FlightEvent fe;
+      fe.kind = obs::FlightKind::kComplete;
+      fe.t_seconds = done;
+      fe.batch_id = batch_id;
+      fe.replica = static_cast<std::int8_t>(replica);
+      fe.level = static_cast<std::int16_t>(level);
+      fe.width = static_cast<std::int32_t>(take);
+      fe.detail = attempts;
+      fe.SetLabel("error");
+      telemetry_->flight().Record(fe);
       for (Pending& p : batch) {
         p.promise.set_exception(std::current_exception());
       }
     }
+    heartbeats_.Beat(hb, done);
 
     lock.Lock();
     // Retire the whole batch (served and shed together) under one lock
@@ -745,6 +897,244 @@ void BatchServer::ReplicaLoop(int replica) {
       }
     }
     if (completed_ + shed_ == next_id_) idle_.NotifyAll();
+  }
+}
+
+namespace {
+
+std::string FmtDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// The exact label suffix the engine appends to the plan drift gauges
+/// (shflbw_plan_{modeled,measured}_seconds / shflbw_plan_drift_ratio),
+/// so statusz can look up per-layer drift by reconstructing the name.
+std::string PlanGaugeLabel(const LayerPlan& lp) {
+  std::ostringstream os;
+  os << "{layer=\"" << lp.name << "\",format=\"" << FormatName(lp.format)
+     << "\",density=\"" << lp.density << "\",v=\"" << lp.v << "\"}";
+  return os.str();
+}
+
+std::string GaugeCell(const obs::Registry& reg, const std::string& name) {
+  const obs::Gauge* g = reg.FindGauge(name);
+  return g == nullptr ? std::string("-") : FmtDouble(g->Value());
+}
+
+}  // namespace
+
+obs::StatusReport BatchServer::Status() const {
+  obs::StatusReport report;
+  report.title = "shflbw batch server";
+  const double now = NowSeconds();
+
+  {
+    const BuildInfo& bi = GetBuildInfo();
+    obs::StatusSection& s = report.AddSection("build");
+    s.AddText("git_sha", bi.git_sha);
+    s.AddText("compiler", bi.compiler);
+    s.AddText("build_type", bi.build_type);
+    s.AddText("cxx_flags", bi.cxx_flags);
+    s.AddNumber("cxx_standard", static_cast<double>(bi.cxx_standard));
+    s.AddNumber("obs_compiled_in", bi.obs_compiled_in ? 1 : 0);
+    s.AddNumber("threads", ParallelThreadCount());
+    s.AddNumber("uptime_seconds", now - start_seconds_);
+  }
+
+  // Stats() takes mu_ itself; the second short hold picks up the bits
+  // the snapshot struct doesn't carry. Everything after reads lock-free
+  // obs state or coarser-ranked locks (cache is rank 30 > server 20,
+  // taken with mu_ released).
+  const ServerStats stats = Stats();
+  std::size_t depth = 0;
+  double p99_ratio = -1;
+  std::string last_stall;
+  double last_stall_age = 0;
+  bool watchdog_running = false;
+  {
+    MutexLock lock(mu_);
+    depth = queue_.size();
+    p99_ratio = controller_.WindowP99Ratio();
+    last_stall = last_stall_;
+    last_stall_age = last_stall_age_;
+    watchdog_running = watchdog_ != nullptr;
+  }
+
+  {
+    obs::StatusSection& s = report.AddSection("server");
+    s.AddNumber("replicas", replicas());
+    s.AddNumber("levels", levels());
+    s.AddNumber("queue_depth", static_cast<double>(depth));
+    s.AddNumber("queue_capacity", static_cast<double>(opts_.queue_capacity));
+    s.AddNumber("queue_occupancy",
+                opts_.queue_capacity > 0
+                    ? static_cast<double>(depth) /
+                          static_cast<double>(opts_.queue_capacity)
+                    : 0.0);
+    s.AddNumber("max_batch", opts_.max_batch);
+    s.AddNumber("coalesce_window_seconds", opts_.coalesce_window_seconds);
+    s.AddNumber("submitted", static_cast<double>(stats.submitted));
+    s.AddNumber("completed", static_cast<double>(stats.completed));
+    s.AddNumber("shed", static_cast<double>(stats.shed));
+    s.AddNumber("rejected_queue_full",
+                static_cast<double>(stats.rejected_queue_full));
+    s.AddNumber("rejected_deadline",
+                static_cast<double>(stats.rejected_deadline));
+    s.AddNumber("rejected_shutdown",
+                static_cast<double>(stats.rejected_shutdown));
+    s.AddNumber("retries", static_cast<double>(stats.retries));
+    s.AddNumber("failed", static_cast<double>(stats.failed));
+    s.AddNumber("estimated_service_seconds", stats.estimated_service_seconds);
+  }
+
+  {
+    obs::StatusSection& s = report.AddSection("ladder");
+    s.AddNumber("level", stats.level);
+    s.AddNumber("downshifts", static_cast<double>(stats.downshifts));
+    s.AddNumber("upshifts", static_cast<double>(stats.upshifts));
+    s.AddNumber("window_p99_ratio", p99_ratio);
+    obs::StatusTable& t = s.AddTable(
+        "levels", {"level", "floor", "retained", "modeled_s", "completed"});
+    for (int lvl = 0; lvl < levels(); ++lvl) {
+      const std::size_t l = static_cast<std::size_t>(lvl);
+      t.rows.push_back({std::to_string(lvl), FmtDouble(level_floors_[l]),
+                        FmtDouble(level_ratios_[l]),
+                        FmtDouble(PlanAt(lvl).ModeledTotalSeconds()),
+                        l < stats.per_level.size()
+                            ? std::to_string(stats.per_level[l])
+                            : std::string("-")});
+    }
+  }
+
+  {
+    obs::StatusSection& s = report.AddSection("replicas");
+    obs::StatusTable& t = s.AddTable(
+        "heartbeats", {"name", "armed", "beats", "age_s", "completed"});
+    for (const obs::HeartbeatRegistry::View& v : heartbeats_.Snapshot()) {
+      std::string completed_cell = "-";
+      if (v.name.rfind("replica", 0) == 0) {
+        const int idx = std::atoi(v.name.c_str() + 7);
+        if (idx >= 0 &&
+            idx < static_cast<int>(stats.per_replica.size())) {
+          completed_cell = std::to_string(
+              stats.per_replica[static_cast<std::size_t>(idx)]);
+        }
+      }
+      t.rows.push_back({v.name, v.armed ? "yes" : "no",
+                        std::to_string(v.beats),
+                        v.beat_seconds > 0 ? FmtDouble(now - v.beat_seconds)
+                                           : std::string("-"),
+                        completed_cell});
+    }
+  }
+
+  {
+    obs::StatusSection& s = report.AddSection("weight_cache");
+    s.AddNumber("entries", static_cast<double>(cache_->Size()));
+    s.AddNumber("total_packs", static_cast<double>(cache_->TotalPacks()));
+    s.AddNumber("approx_bytes", static_cast<double>(cache_->ApproxBytes()));
+  }
+
+  {
+    const PoolStats pool = GetPoolStats();
+    obs::StatusSection& s = report.AddSection("worker_pool");
+    s.AddNumber("workers", pool.workers);
+    s.AddNumber("active_regions", pool.active_regions);
+    s.AddNumber("regions_total", static_cast<double>(pool.regions_entered));
+    obs::StatusTable& t =
+        s.AddTable("regions", {"name", "armed", "beats", "age_s"});
+    for (const obs::HeartbeatRegistry::View& v :
+         obs::GlobalHeartbeats().Snapshot()) {
+      t.rows.push_back({v.name, v.armed ? "yes" : "no",
+                        std::to_string(v.beats),
+                        v.beat_seconds > 0 ? FmtDouble(now - v.beat_seconds)
+                                           : std::string("-")});
+    }
+  }
+
+  {
+    obs::StatusSection& s = report.AddSection("watchdog");
+    s.AddNumber("enabled", opts_.watchdog.enabled ? 1 : 0);
+    s.AddNumber("running", watchdog_running ? 1 : 0);
+    s.AddNumber("stall_budget_seconds", opts_.watchdog.stall_budget_seconds);
+    s.AddNumber("poll_interval_seconds",
+                opts_.watchdog.poll_interval_seconds);
+    s.AddNumber("stalls", static_cast<double>(AsCount(c_stalls_)));
+    s.AddText("last_stall", last_stall.empty() ? "-" : last_stall);
+    s.AddNumber("last_stall_age_seconds", last_stall_age);
+  }
+
+  {
+    const obs::FlightRecorder& flight = telemetry_->flight();
+    obs::StatusSection& s = report.AddSection("flight_recorder");
+    s.AddNumber("total", static_cast<double>(flight.total()));
+    s.AddNumber("dropped", static_cast<double>(flight.dropped()));
+    s.AddNumber("capacity", static_cast<double>(flight.capacity()));
+  }
+
+  {
+    // The serving level's plan, with measured-vs-modeled drift looked
+    // up from the gauges the engine publishes after each run ("-" until
+    // a layer has been measured).
+    const obs::Registry& reg = telemetry_->registry();
+    const ExecutionPlan& plan = PlanAt(stats.level);
+    obs::StatusSection& s = report.AddSection("plan");
+    s.AddText("model", plan.model);
+    s.AddText("gpu", plan.gpu);
+    obs::StatusTable& t =
+        s.AddTable("layers", {"layer", "format", "density", "v", "modeled_s",
+                              "retained", "measured_s", "drift"});
+    for (const LayerPlan& lp : plan.layers) {
+      const std::string label = PlanGaugeLabel(lp);
+      t.rows.push_back(
+          {lp.name, FormatName(lp.format), FmtDouble(lp.density),
+           std::to_string(lp.v), FmtDouble(lp.modeled_s),
+           FmtDouble(lp.retained_ratio),
+           GaugeCell(reg, "shflbw_plan_measured_seconds" + label),
+           GaugeCell(reg, "shflbw_plan_drift_ratio" + label)});
+    }
+  }
+
+  return report;
+}
+
+std::string BatchServer::StatusText() const { return Status().RenderText(); }
+
+std::string BatchServer::StatusJson() const { return Status().RenderJson(); }
+
+bool BatchServer::DumpStatus(const std::string& path_base) const {
+  const obs::StatusReport report = Status();
+  const bool text_ok = report.DumpText(path_base + ".txt");
+  const bool json_ok = report.DumpJson(path_base + ".json");
+  return text_ok && json_ok;
+}
+
+bool BatchServer::DumpFlightRecorder(const std::string& path) const {
+  return telemetry_->flight().DumpJson(path);
+}
+
+void BatchServer::OnStall(const std::string& name, double age_seconds) {
+  c_stalls_->Add();
+  {
+    MutexLock lock(mu_);
+    last_stall_ = name;
+    last_stall_age_ = age_seconds;
+  }
+  // Record the detection itself before dumping, so the postmortem's
+  // last event is the stall that triggered it.
+  obs::FlightEvent fe;
+  fe.kind = obs::FlightKind::kStall;
+  fe.t_seconds = NowSeconds();
+  fe.value = age_seconds;
+  fe.SetLabel(name.c_str());
+  telemetry_->flight().Record(fe);
+  if (!opts_.watchdog.dump_path.empty()) {
+    // Best effort: the stall is already counted and flight-recorded
+    // even when the dump path is unwritable.
+    (void)DumpStatus(opts_.watchdog.dump_path + "_statusz");
+    (void)DumpFlightRecorder(opts_.watchdog.dump_path + "_flight.json");
   }
 }
 

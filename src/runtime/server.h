@@ -45,7 +45,9 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "obs/statusz.h"
 #include "obs/telemetry.h"
+#include "obs/watchdog.h"
 #include "runtime/admission.h"
 #include "runtime/engine.h"
 #include "runtime/fault_injection.h"
@@ -95,6 +97,14 @@ struct ServerOptions {
   /// spans and kernel spans land in one trace and ServerStats,
   /// MetricsText() and DumpTrace() all read the same sink.
   obs::TelemetryOptions telemetry;
+  /// Stall watchdog (obs/watchdog.h): when enabled, a polling thread
+  /// watches the replica heartbeats (and the global ParallelFor region
+  /// heartbeats); an armed replica silent for longer than the budget
+  /// counts a stall, records a kStall flight event and — with a
+  /// non-empty dump_path — writes the statusz + flight-recorder
+  /// postmortem. The budget must exceed coalesce_window_seconds plus
+  /// the longest legitimate launch.
+  obs::WatchdogOptions watchdog;
 };
 
 /// Validates `opts` (replicas >= 1, queue_capacity >= 1, max_batch >=
@@ -277,6 +287,40 @@ class BatchServer {
   /// path cannot be opened or tracing is compiled out.
   bool DumpTrace(const std::string& path) const;
 
+  /// statusz: one structured snapshot of the whole process — build
+  /// provenance, queue/occupancy, degradation ladder + shift history,
+  /// per-replica scheduler state with heartbeat ages, weight-cache
+  /// entries/bytes, worker-pool claims, watchdog state, flight-recorder
+  /// fill, and the serving level's per-layer plan table with the
+  /// measured-vs-modeled drift gauges. Safe while serving (briefly
+  /// takes the queue mutex, then reads lock-free/obs state).
+  [[nodiscard]] obs::StatusReport Status() const SHFLBW_EXCLUDES(mu_);
+
+  /// Status() rendered human-readable / as JSON.
+  [[nodiscard]] std::string StatusText() const SHFLBW_EXCLUDES(mu_);
+  [[nodiscard]] std::string StatusJson() const SHFLBW_EXCLUDES(mu_);
+
+  /// Writes `<path_base>.txt` + `<path_base>.json`; false if either
+  /// write failed. This is the "explicit request" leg of the postmortem
+  /// triad (stall and fatal dumps reuse it via the watchdog callback).
+  [[nodiscard]] bool DumpStatus(const std::string& path_base) const
+      SHFLBW_EXCLUDES(mu_);
+
+  /// Dumps the flight-recorder ring as JSON; false on I/O failure.
+  [[nodiscard]] bool DumpFlightRecorder(const std::string& path) const;
+
+  /// The replica-thread heartbeat table (ParallelFor regions publish
+  /// into obs::GlobalHeartbeats() instead).
+  const obs::HeartbeatRegistry& heartbeats() const { return heartbeats_; }
+
+  /// The stall watchdog, or nullptr when ServerOptions::watchdog is
+  /// disabled (or after Shutdown). The pointer is stable until
+  /// Shutdown moves it out.
+  const obs::Watchdog* watchdog() const SHFLBW_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return watchdog_.get();
+  }
+
  private:
   struct Pending {
     Request req;
@@ -299,9 +343,17 @@ class BatchServer {
   /// gauges) in telemetry_'s registry; constructor-only.
   void RegisterMetrics();
 
-  /// Records an admission span (begin -> now) when tracing is on.
-  /// `id` is kNoId on rejections (no id was assigned).
+  /// Records an admission span (begin -> now) when tracing is on, and
+  /// a kReject flight event on every rejection (flight recording is
+  /// always on). `id` is kNoId on rejections (no id was assigned).
   void TraceAdmission(double begin, std::uint64_t id, SubmitStatus verdict);
+
+  /// Watchdog stall callback (watchdog thread): bumps the stall
+  /// counter, records a kStall flight event naming the stalled slot,
+  /// and writes the statusz + flight postmortem when
+  /// ServerOptions::watchdog.dump_path is set.
+  void OnStall(const std::string& name, double age_seconds)
+      SHFLBW_EXCLUDES(mu_);
 
   ServerOptions opts_;
   std::shared_ptr<obs::Telemetry> telemetry_;
@@ -351,14 +403,33 @@ class BatchServer {
   obs::Histogram* h_batch_width_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;
   obs::Gauge* g_level_ = nullptr;
+  obs::Counter* c_stalls_ = nullptr;
   /// Both controllers are plain mechanism objects (runtime/admission.h)
   /// with no locking of their own; every call goes through mu_.
   AdmissionController admission_ SHFLBW_GUARDED_BY(mu_);
   DegradationController controller_ SHFLBW_GUARDED_BY(mu_);
 
+  /// Controller level after the most recent seal; kShift flight events
+  /// are emitted on transitions, so any replica's seal can observe the
+  /// shared controller moving.
+  int last_observed_level_ SHFLBW_GUARDED_BY(mu_) = 0;
+  /// Most recent watchdog stall (statusz watchdog section).
+  std::string last_stall_ SHFLBW_GUARDED_BY(mu_);
+  double last_stall_age_ SHFLBW_GUARDED_BY(mu_) = 0;
+
+  /// Replica-thread heartbeats; slots registered by ReplicaLoop.
+  obs::HeartbeatRegistry heartbeats_;
+  /// Monotonic construction time (statusz uptime).
+  double start_seconds_ = 0;
+
   /// Populated by the constructor (no concurrent access yet), swapped
   /// out under mu_ by Shutdown and joined lock-free.
   std::vector<std::thread> threads_ SHFLBW_GUARDED_BY(mu_);
+  /// Stopped (moved out under mu_, then joined lock-free) first in
+  /// Shutdown so no stall callback can run against a half-torn-down
+  /// server — and so a concurrent second Shutdown moves an empty
+  /// pointer, mirroring the threads_ swap.
+  std::unique_ptr<obs::Watchdog> watchdog_ SHFLBW_GUARDED_BY(mu_);
 };
 
 }  // namespace runtime

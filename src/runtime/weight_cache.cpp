@@ -1,6 +1,7 @@
 #include "runtime/weight_cache.h"
 
 #include <chrono>
+#include <vector>
 
 #include "common/check.h"
 #include "prune/balanced24_prune.h"
@@ -70,6 +71,37 @@ const PackedWeight& PackedWeightCache::GetOrPack(
     ++packs_;
   }
   return it->second;
+}
+
+namespace {
+
+template <typename T>
+std::size_t VecBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t PackedBytes(const PackedWeight& p) {
+  std::size_t n = sizeof(PackedWeight);
+  n += p.dense.size() * sizeof(float);
+  n += VecBytes(p.csr.row_ptr) + VecBytes(p.csr.col_idx) +
+       VecBytes(p.csr.values);
+  n += VecBytes(p.bsr.block_row_ptr) + VecBytes(p.bsr.block_col_idx) +
+       VecBytes(p.bsr.values);
+  n += VecBytes(p.balanced24.values) + VecBytes(p.balanced24.meta);
+  n += VecBytes(p.vw.group_col_ptr) + VecBytes(p.vw.col_idx) +
+       VecBytes(p.vw.values);
+  n += VecBytes(p.shflbw.vw.group_col_ptr) + VecBytes(p.shflbw.vw.col_idx) +
+       VecBytes(p.shflbw.vw.values) + VecBytes(p.shflbw.storage_to_original);
+  return n;
+}
+
+}  // namespace
+
+std::size_t PackedWeightCache::ApproxBytes() const {
+  MutexLock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [key, packed] : cache_) total += PackedBytes(packed);
+  return total;
 }
 
 }  // namespace runtime

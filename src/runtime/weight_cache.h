@@ -91,6 +91,11 @@ class PackedWeightCache {
     MutexLock lock(mu_);
     return cache_.size();
   }
+
+  /// Approximate resident bytes of every packed entry (payload vectors
+  /// only, not map-node overhead). Feeds the statusz cache section so
+  /// an operator can see what the pack-once policy is holding.
+  [[nodiscard]] std::size_t ApproxBytes() const SHFLBW_EXCLUDES(mu_);
   void Clear() SHFLBW_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     cache_.clear();

@@ -1,0 +1,12 @@
+// Fixture: file output smuggled into library code outside the
+// sanctioned dump sinks.
+#include <cstdio>
+#include <fstream>
+
+void Persist(const char* path, const void* data, unsigned long n) {
+  std::ofstream os(path);
+  os << "side channel";
+  FILE* f = fopen(path, "wb");
+  fwrite(data, 1, n, f);
+  freopen(path, "a", f);
+}

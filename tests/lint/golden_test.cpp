@@ -94,7 +94,7 @@ TEST(LintGolden, FixturesMatchManifests) {
     }
   }
   // A fixture silently dropped (renamed, glob typo) must not pass.
-  EXPECT_GE(fixtures, 14) << "fixture corpus shrank";
+  EXPECT_GE(fixtures, 16) << "fixture corpus shrank";
 }
 
 TEST(LintGolden, DiagnosticFormatIsStable) {

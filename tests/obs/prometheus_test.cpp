@@ -1,0 +1,343 @@
+// Strict Prometheus text-format conformance of Registry::
+// ExpositionText(): every line must be a well-formed HELP, TYPE or
+// sample line; each family announces its TYPE exactly once, before any
+// of its samples, with HELP (when present) immediately preceding it;
+// metric and label names match the Prometheus grammar; label values
+// use only the sanctioned escapes; histogram bucket series are
+// cumulative and monotone with le bounds strictly increasing and the
+// +Inf bucket equal to _count. This is the consumer-side contract the
+// scrape endpoint (and the committed BENCH_serving_metrics.prom
+// artifact) relies on; a formatting regression fails here, not in a
+// downstream Prometheus.
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace shflbw {
+namespace obs {
+namespace {
+
+bool ValidMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  auto tail = [&head](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(s[0])) return false;
+  for (char c : s) {
+    if (!tail(c)) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Sample {
+  std::string name;  // base metric name (no labels)
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+  std::string labels_without_le;  // histogram series key
+  bool has_le = false;
+  double le = 0;
+};
+
+/// Parses `name{label="value",...} value` (labels optional). Returns
+/// false with a diagnostic on any grammar violation.
+bool ParseSampleLine(const std::string& line, Sample* out,
+                     std::string* why) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  out->name = line.substr(0, i);
+  if (!ValidMetricName(out->name)) {
+    *why = "bad metric name: " + out->name;
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    std::ostringstream without_le;
+    bool first = true;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      if (eq == std::string::npos) {
+        *why = "label without '='";
+        return false;
+      }
+      const std::string lname = line.substr(i, eq - i);
+      if (!ValidLabelName(lname)) {
+        *why = "bad label name: " + lname;
+        return false;
+      }
+      i = eq + 1;
+      if (i >= line.size() || line[i] != '"') {
+        *why = "label value not quoted";
+        return false;
+      }
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < line.size()) {
+        const char c = line[i];
+        if (c == '\\') {
+          if (i + 1 >= line.size()) {
+            *why = "dangling escape";
+            return false;
+          }
+          const char e = line[i + 1];
+          if (e != '\\' && e != '"' && e != 'n') {
+            *why = std::string("illegal escape \\") + e;
+            return false;
+          }
+          value += e == 'n' ? '\n' : e;
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (c == '\n') {
+          *why = "raw newline in label value";
+          return false;
+        }
+        value += c;
+        ++i;
+      }
+      if (!closed) {
+        *why = "unterminated label value";
+        return false;
+      }
+      out->labels.emplace_back(lname, value);
+      if (lname == "le") {
+        out->has_le = true;
+        out->le = value == "+Inf"
+                      ? std::numeric_limits<double>::infinity()
+                      : std::strtod(value.c_str(), nullptr);
+      } else {
+        without_le << (first ? "" : ",") << lname << "=" << value;
+        first = false;
+      }
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      *why = "unterminated label set";
+      return false;
+    }
+    ++i;
+    out->labels_without_le = without_le.str();
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *why = "missing space before value";
+    return false;
+  }
+  ++i;
+  const std::string value_str = line.substr(i);
+  if (value_str == "+Inf") {
+    out->value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (value_str == "-Inf") {
+    out->value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  out->value = std::strtod(value_str.c_str(), &end);
+  if (end == value_str.c_str() || *end != '\0') {
+    *why = "unparseable value: " + value_str;
+    return false;
+  }
+  return true;
+}
+
+std::string HistogramFamily(const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return name.substr(0, name.size() - s.size());
+    }
+  }
+  return name;
+}
+
+/// Populates a registry with every shape the server emits: counters
+/// with/without help, labelled counter series, gauges, histograms with
+/// and without labels, and help text needing every escape. (Registry
+/// owns a Mutex, so it is populated in place, not returned.)
+void MakeEventful(Registry& reg) {
+  reg.GetCounter("alpha_total", "back\\slash \"quote\"\nnewline").Add(3);
+  reg.GetCounter("labeled_total{reason=\"queue_full\"}", "by reason")
+      .Add(2);
+  reg.GetCounter("labeled_total{reason=\"deadline\"}").Add(5);  // no help
+  reg.GetGauge("some_gauge", "a gauge").Set(-1.25);
+  Histogram& h = reg.GetHistogram("lat_seconds", "latency");
+  for (double v : {2e-6, 1e-3, 2e-3, 5.0, 10.0, 0.5e-6}) h.Record(v);
+  Histogram& lh =
+      reg.GetHistogram("shard_seconds{shard=\"a\"}", "sharded latency");
+  lh.Record(0.5);
+  lh.Record(1.5);
+}
+
+TEST(PrometheusExposition, EveryLineParsesStrictly) {
+  Registry reg;
+  MakeEventful(reg);
+  const std::string text = reg.ExpositionText();
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n') << "exposition must end with a newline";
+
+  std::map<std::string, std::string> family_type;  // family -> type
+  std::map<std::string, int> type_lines;           // family -> TYPE count
+  std::string pending_help;  // family of the HELP line just seen
+  std::vector<Sample> samples;
+
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string family = rest.substr(0, sp);
+      ASSERT_TRUE(ValidMetricName(family)) << line;
+      ASSERT_EQ(family_type.count(family), 0u)
+          << "HELP after samples for " << family;
+      pending_help = family;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string family = rest.substr(0, sp);
+      const std::string type = rest.substr(sp + 1);
+      ASSERT_TRUE(ValidMetricName(family)) << line;
+      ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      if (!pending_help.empty()) {
+        // HELP, when present, names the family TYPE announces next.
+        EXPECT_EQ(pending_help, family);
+        pending_help.clear();
+      }
+      family_type[family] = type;
+      EXPECT_EQ(++type_lines[family], 1) << "duplicate TYPE for " << family;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line: " << line;
+    ASSERT_TRUE(pending_help.empty())
+        << "HELP not followed by TYPE: " << pending_help;
+    Sample s;
+    std::string why;
+    ASSERT_TRUE(ParseSampleLine(line, &s, &why)) << line << " — " << why;
+    samples.push_back(std::move(s));
+  }
+
+  ASSERT_FALSE(samples.empty());
+  for (const Sample& s : samples) {
+    const std::string family = HistogramFamily(s.name);
+    const auto it = family_type.find(family);
+    // Histogram suffix names resolve to their family; plain metrics to
+    // themselves. Either way the TYPE line must precede (map insertion
+    // happened while scanning earlier lines).
+    ASSERT_NE(it, family_type.end()) << "sample before TYPE: " << s.name;
+    if (s.name != family || it->second == "histogram") {
+      EXPECT_EQ(it->second, "histogram") << s.name;
+    }
+    EXPECT_FALSE(std::isnan(s.value)) << s.name;
+  }
+}
+
+TEST(PrometheusExposition, FamiliesAreContiguousAndTypedOnce) {
+  Registry reg;
+  MakeEventful(reg);
+  const std::string text = reg.ExpositionText();
+  // The two labeled_total series share one TYPE line.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("# TYPE labeled_total ", pos)) !=
+         std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 1u);
+  // Help text is escaped: the raw backslash, quote and newline of the
+  // registered help must appear as \\, literal quote is allowed, and
+  // \n as the two-character escape (the HELP line stays one line).
+  EXPECT_NE(text.find("back\\\\slash"), std::string::npos);
+  EXPECT_NE(text.find("\\nnewline"), std::string::npos);
+}
+
+TEST(PrometheusExposition, HistogramBucketsAreCumulativeAndMonotone) {
+  Registry reg;
+  MakeEventful(reg);
+  const std::string text = reg.ExpositionText();
+
+  std::map<std::string, std::vector<Sample>> buckets;  // series -> buckets
+  std::map<std::string, double> sums, counts;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Sample s;
+    std::string why;
+    ASSERT_TRUE(ParseSampleLine(line, &s, &why)) << line << " — " << why;
+    const std::string family = HistogramFamily(s.name);
+    const std::string key = family + "{" + s.labels_without_le + "}";
+    if (s.name == family + "_bucket") {
+      ASSERT_TRUE(s.has_le) << line;
+      buckets[key].push_back(s);
+    } else if (s.name == family + "_sum") {
+      sums[key] = s.value;
+    } else if (s.name == family + "_count") {
+      counts[key] = s.value;
+    }
+  }
+
+  ASSERT_GE(buckets.size(), 2u);  // lat_seconds + shard_seconds{shard=a}
+  for (const auto& [key, series] : buckets) {
+    ASSERT_FALSE(series.empty()) << key;
+    ASSERT_EQ(counts.count(key), 1u) << key << " lacks _count";
+    ASSERT_EQ(sums.count(key), 1u) << key << " lacks _sum";
+    double prev_le = -std::numeric_limits<double>::infinity();
+    double prev_cum = -1;
+    for (const Sample& s : series) {
+      EXPECT_GT(s.le, prev_le) << key << ": le bounds must increase";
+      EXPECT_GE(s.value, prev_cum) << key << ": buckets must be cumulative";
+      prev_le = s.le;
+      prev_cum = s.value;
+    }
+    EXPECT_TRUE(std::isinf(series.back().le))
+        << key << ": last bucket must be +Inf";
+    EXPECT_EQ(series.back().value, counts[key])
+        << key << ": +Inf bucket must equal _count";
+    EXPECT_GE(sums[key], 0) << key;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace shflbw

@@ -1,0 +1,193 @@
+// Heartbeat + watchdog contract: registration claims and frees slots,
+// the publish path works from any thread, a stall episode fires the
+// callback exactly once (not once per poll), a beat closes the episode
+// so a second silence fires again, and disarmed slots never fire no
+// matter how stale their last beat is.
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+#include "obs/watchdog.h"
+
+namespace shflbw {
+namespace obs {
+namespace {
+
+/// Spin until `pred` holds or ~2 s pass; returns whether it held.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(HeartbeatRegistry, RegisterSnapshotUnregister) {
+  HeartbeatRegistry reg;
+  const int a = reg.Register("alpha");
+  const int b = reg.Register("beta");
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_NE(a, b);
+  reg.Arm(a, 1.5);
+  reg.Beat(a, 2.5);
+  std::vector<HeartbeatRegistry::View> views = reg.Snapshot();
+  ASSERT_EQ(views.size(), 2u);
+  bool saw_alpha = false;
+  for (const auto& v : views) {
+    if (v.name != "alpha") continue;
+    saw_alpha = true;
+    EXPECT_TRUE(v.armed);
+    EXPECT_DOUBLE_EQ(v.beat_seconds, 2.5);
+    EXPECT_EQ(v.beats, 2u);  // Arm counts as a beat
+  }
+  EXPECT_TRUE(saw_alpha);
+  reg.Unregister(a);
+  reg.Unregister(b);
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+TEST(HeartbeatRegistry, NegativeSlotIsANoOpEverywhere) {
+  HeartbeatRegistry reg;
+  reg.Arm(-1, 1.0);
+  reg.Beat(-1, 2.0);
+  reg.Disarm(-1);
+  reg.Unregister(-1);
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+TEST(HeartbeatRegistry, SlotsAreReusedAfterUnregister) {
+  HeartbeatRegistry reg;
+  std::vector<int> slots;
+  for (int i = 0; i < HeartbeatRegistry::kMaxSlots; ++i) {
+    // Built via += rather than `"s" + std::to_string(i)`, which trips
+    // a GCC 12 -Wrestrict false positive (fatal under CI's -Werror).
+    std::string name = "s";
+    name += std::to_string(i);
+    slots.push_back(reg.Register(name));
+    ASSERT_GE(slots.back(), 0);
+  }
+  EXPECT_EQ(reg.Register("overflow"), -1);  // table full degrades
+  reg.Unregister(slots[3]);
+  EXPECT_GE(reg.Register("reused"), 0);
+  for (int i = 0; i < HeartbeatRegistry::kMaxSlots; ++i) {
+    if (i != 3) reg.Unregister(slots[static_cast<std::size_t>(i)]);
+  }
+}
+
+struct StallLog {
+  Mutex mu;
+  std::vector<std::string> names SHFLBW_GUARDED_BY(mu);
+  std::atomic<int> count{0};
+
+  void Record(const std::string& name) {
+    MutexLock lock(mu);
+    names.push_back(name);
+    count.fetch_add(1);
+  }
+};
+
+TEST(Watchdog, FiresOncePerEpisodeAndAgainAfterRecovery) {
+  HeartbeatRegistry reg;
+  const int slot = reg.Register("wedged");
+  ASSERT_GE(slot, 0);
+  reg.Arm(slot, NowSeconds());
+
+  StallLog log;
+  WatchdogOptions opts;
+  opts.enabled = true;
+  opts.stall_budget_seconds = 0.03;
+  opts.poll_interval_seconds = 0.005;
+  Watchdog dog(opts, {&reg},
+               [&log](const std::string& name, double age) {
+                 EXPECT_GT(age, 0.0);
+                 log.Record(name);
+               });
+
+  // Armed silence -> exactly one firing, no matter how many polls pass.
+  ASSERT_TRUE(WaitFor([&] { return log.count.load() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(log.count.load(), 1);
+  EXPECT_EQ(dog.stalls(), 1u);
+
+  // A beat closes the episode; renewed silence opens a second one.
+  reg.Beat(slot, NowSeconds());
+  ASSERT_TRUE(WaitFor([&] { return log.count.load() >= 2; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(log.count.load(), 2);
+  EXPECT_EQ(dog.stalls(), 2u);
+  {
+    MutexLock lock(log.mu);
+    for (const std::string& n : log.names) EXPECT_EQ(n, "wedged");
+  }
+  dog.Stop();
+  reg.Unregister(slot);
+}
+
+TEST(Watchdog, DisarmedSlotsNeverFire) {
+  HeartbeatRegistry reg;
+  const int slot = reg.Register("idle");
+  ASSERT_GE(slot, 0);
+  reg.Arm(slot, NowSeconds() - 100.0);  // ancient beat...
+  reg.Disarm(slot);                     // ...but legitimately idle
+
+  StallLog log;
+  WatchdogOptions opts;
+  opts.enabled = true;
+  opts.stall_budget_seconds = 0.01;
+  opts.poll_interval_seconds = 0.002;
+  Watchdog dog(opts, {&reg},
+               [&log](const std::string& name, double) { log.Record(name); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(log.count.load(), 0);
+  EXPECT_EQ(dog.stalls(), 0u);
+  dog.Stop();
+  reg.Unregister(slot);
+}
+
+TEST(Watchdog, UnregisterClosesTheEpisode) {
+  HeartbeatRegistry reg;
+  const int slot = reg.Register("transient");
+  ASSERT_GE(slot, 0);
+  reg.Arm(slot, NowSeconds());
+
+  StallLog log;
+  WatchdogOptions opts;
+  opts.enabled = true;
+  opts.stall_budget_seconds = 0.02;
+  opts.poll_interval_seconds = 0.005;
+  Watchdog dog(opts, {&reg},
+               [&log](const std::string& name, double) { log.Record(name); });
+  ASSERT_TRUE(WaitFor([&] { return log.count.load() >= 1; }));
+  // Freeing the slot must clear its episode state; a new registration
+  // in the same slot that stalls fires fresh.
+  reg.Unregister(slot);
+  const int slot2 = reg.Register("transient2");
+  ASSERT_GE(slot2, 0);
+  reg.Arm(slot2, NowSeconds());
+  ASSERT_TRUE(WaitFor([&] { return log.count.load() >= 2; }));
+  dog.Stop();
+  reg.Unregister(slot2);
+}
+
+TEST(Watchdog, StopIsIdempotentAndDestructorSafe) {
+  HeartbeatRegistry reg;
+  WatchdogOptions opts;
+  opts.enabled = true;
+  opts.stall_budget_seconds = 1.0;
+  opts.poll_interval_seconds = 0.01;
+  Watchdog dog(opts, {&reg}, [](const std::string&, double) {});
+  dog.Stop();
+  dog.Stop();  // second call is a no-op; destructor runs after
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace shflbw

@@ -1,0 +1,204 @@
+// benchdiff unit contract: the strict JSON parser accepts exactly what
+// bench/ emits and rejects garbage with a located error, flattening
+// produces stable identity-keyed paths (so reordered result arrays
+// still line up), glob matching and first-match-wins rule resolution
+// behave, a self-diff is always clean, and an injected
+// beyond-threshold throughput drop is flagged as a regression while
+// equal-sized noise on an un-gated metric is not.
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchdiff/benchdiff.h"
+
+namespace shflbw {
+namespace benchdiff {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(ParseJson(text, &v, &err)) << err;
+  return v;
+}
+
+TEST(ParseJson, RoundTripsTheBenchSubset) {
+  const JsonValue v = MustParse(
+      "{\"bench\": \"serving\", \"pi\": 3.25, \"neg\": -1e-3,\n"
+      " \"flag\": true, \"off\": false, \"nothing\": null,\n"
+      " \"list\": [1, 2.5, \"s\"], \"nested\": {\"k\": 0}}");
+  ASSERT_EQ(v.type, JsonValue::Type::kObject);
+  EXPECT_EQ(v.Find("bench")->str, "serving");
+  EXPECT_DOUBLE_EQ(v.Find("pi")->number, 3.25);
+  EXPECT_DOUBLE_EQ(v.Find("neg")->number, -1e-3);
+  EXPECT_TRUE(v.Find("flag")->boolean);
+  EXPECT_FALSE(v.Find("off")->boolean);
+  EXPECT_EQ(v.Find("nothing")->type, JsonValue::Type::kNull);
+  ASSERT_EQ(v.Find("list")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("nested")->Find("k")->number, 0.0);
+  EXPECT_EQ(v.Find("absent"), nullptr);
+}
+
+TEST(ParseJson, DecodesStringEscapes) {
+  const JsonValue v =
+      MustParse("{\"s\": \"a\\\"b\\\\c\\n\\t\\u0041\"}");
+  EXPECT_EQ(v.Find("s")->str, "a\"b\\c\n\tA");
+}
+
+TEST(ParseJson, RejectsMalformedInputWithALocatedError) {
+  const char* bad[] = {
+      "",                        // empty
+      "{",                       // unterminated object
+      "{\"a\": }",               // missing value
+      "{\"a\": 1,}",             // trailing comma
+      "[1 2]",                   // missing comma
+      "{\"a\": 1} trailing",     // trailing garbage
+      "{'a': 1}",                // wrong quotes
+  };
+  for (const char* text : bad) {
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(ParseJson(text, &v, &err)) << "accepted: " << text;
+    EXPECT_NE(err.find("offset"), std::string::npos) << err;
+  }
+}
+
+TEST(FlattenNumeric, JoinsObjectsAndKeysArraysByIdentity) {
+  const JsonValue v = MustParse(
+      "{\"throughput_rps\": 100,\n"
+      " \"provenance\": {\"threads\": 8},\n"
+      " \"results\": [\n"
+      "   {\"name\": \"enc0\", \"gflops\": 5.0},\n"
+      "   {\"name\": \"dec0\", \"gflops\": 7.0}],\n"
+      " \"curve\": [1, 2, 3],\n"
+      " \"ok\": true, \"note\": \"skipped\"}");
+  const std::map<std::string, double> flat = FlattenNumeric(v);
+  EXPECT_DOUBLE_EQ(flat.at("throughput_rps"), 100);
+  EXPECT_DOUBLE_EQ(flat.at("provenance.threads"), 8);
+  EXPECT_DOUBLE_EQ(flat.at("results[enc0].gflops"), 5.0);
+  EXPECT_DOUBLE_EQ(flat.at("results[dec0].gflops"), 7.0);
+  EXPECT_DOUBLE_EQ(flat.at("ok"), 1.0);           // bools count 0/1
+  EXPECT_EQ(flat.count("note"), 0u);              // strings skipped
+  // Anonymous numeric arrays fall back to the index.
+  EXPECT_DOUBLE_EQ(flat.at("curve[0]"), 1);
+  EXPECT_DOUBLE_EQ(flat.at("curve[2]"), 3);
+}
+
+TEST(FlattenNumeric, IdentityKeysSurviveReordering) {
+  const JsonValue a = MustParse(
+      "{\"r\": [{\"name\": \"x\", \"v\": 1}, {\"name\": \"y\", \"v\": 2}]}");
+  const JsonValue b = MustParse(
+      "{\"r\": [{\"name\": \"y\", \"v\": 2}, {\"name\": \"x\", \"v\": 1}]}");
+  EXPECT_EQ(FlattenNumeric(a), FlattenNumeric(b));
+}
+
+TEST(GlobMatch, StarAndQuestionSemantics) {
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("*throughput*", "serving.throughput_rps"));
+  EXPECT_TRUE(GlobMatch("results[*].gflops", "results[enc0].gflops"));
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "ac"));
+  EXPECT_FALSE(GlobMatch("*p99*", "throughput_rps.p50"));
+  EXPECT_TRUE(GlobMatch("**p50", "throughput_rps.p50"));
+  EXPECT_FALSE(GlobMatch("", "x"));
+  EXPECT_TRUE(GlobMatch("", ""));
+}
+
+TEST(Diff, SelfDiffIsAlwaysClean) {
+  const std::map<std::string, double> run = {
+      {"throughput_rps", 123.4},
+      {"latency.p99_seconds", 0.02},
+      {"provenance.threads", 8},
+      {"quality.retained", 0.97},
+  };
+  const DiffResult r = Diff(run, run, DefaultRules());
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_TRUE(r.only_old.empty());
+  EXPECT_TRUE(r.only_new.empty());
+  for (const MetricDelta& d : r.deltas) EXPECT_FALSE(d.regressed);
+}
+
+TEST(Diff, FlagsThroughputCollapseButToleratesNoise) {
+  std::map<std::string, double> old_run = {{"serving.throughput_rps", 100.0}};
+  // Halved throughput: far beyond the 35% noise allowance.
+  std::map<std::string, double> new_run = {{"serving.throughput_rps", 50.0}};
+  DiffResult r = Diff(old_run, new_run, DefaultRules());
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_TRUE(r.deltas[0].gated);
+  EXPECT_TRUE(r.deltas[0].regressed);
+  EXPECT_EQ(r.regressions, 1);
+  // Render mentions the path and the verdict.
+  const std::string table = RenderTable(r);
+  EXPECT_NE(table.find("serving.throughput_rps"), std::string::npos);
+
+  // A 10% dip is inside the allowance: gated but not a regression.
+  new_run["serving.throughput_rps"] = 90.0;
+  r = Diff(old_run, new_run, DefaultRules());
+  EXPECT_EQ(r.regressions, 0);
+
+  // Movement in the GOOD direction never regresses, however large.
+  new_run["serving.throughput_rps"] = 500.0;
+  r = Diff(old_run, new_run, DefaultRules());
+  EXPECT_EQ(r.regressions, 0);
+}
+
+TEST(Diff, LatencyGatesInTheOppositeDirection) {
+  const std::map<std::string, double> old_run = {
+      {"latency.p99_seconds", 0.010}};
+  // Latency tripling is a regression (lower is better, rel 1.0).
+  const std::map<std::string, double> bad = {{"latency.p99_seconds", 0.031}};
+  EXPECT_EQ(Diff(old_run, bad, DefaultRules()).regressions, 1);
+  // Improvement is never flagged.
+  const std::map<std::string, double> good = {{"latency.p99_seconds", 0.002}};
+  EXPECT_EQ(Diff(old_run, good, DefaultRules()).regressions, 0);
+}
+
+TEST(Diff, FirstMatchingRuleWinsAndIgnoreNeverGates) {
+  // provenance.* is ignored by the defaults even though *threads* also
+  // appears later in the list; a collapse there must not gate.
+  const std::map<std::string, double> old_run = {{"provenance.threads", 16}};
+  const std::map<std::string, double> new_run = {{"provenance.threads", 1}};
+  const DiffResult r = Diff(old_run, new_run, DefaultRules());
+  EXPECT_EQ(r.regressions, 0);
+
+  // A user rule prepended ahead of the defaults overrides them.
+  std::vector<MetricRule> rules = {{"provenance.*",
+                                    Direction::kLowerBetter, 0.0, 0.0}};
+  for (const MetricRule& d : DefaultRules()) rules.push_back(d);
+  EXPECT_EQ(Diff(old_run, new_run, rules).regressions, 0);  // 16 -> 1 fell
+  EXPECT_EQ(Diff(new_run, old_run, rules).regressions, 1);  // 1 -> 16 rose
+}
+
+TEST(Diff, BitIdenticalFlagsHaveZeroTolerance) {
+  const std::map<std::string, double> old_run = {
+      {"serving.bit_identical", 1.0}};
+  const std::map<std::string, double> new_run = {
+      {"serving.bit_identical", 0.0}};
+  EXPECT_EQ(Diff(old_run, new_run, DefaultRules()).regressions, 1);
+}
+
+TEST(Diff, DisappearedMetricsWarnAndNewOnesInform) {
+  const std::map<std::string, double> old_run = {{"a", 1}, {"b", 2}};
+  const std::map<std::string, double> new_run = {{"b", 2}, {"c", 3}};
+  const DiffResult r = Diff(old_run, new_run, DefaultRules());
+  ASSERT_EQ(r.only_old.size(), 1u);
+  EXPECT_EQ(r.only_old[0], "a");
+  ASSERT_EQ(r.only_new.size(), 1u);
+  EXPECT_EQ(r.only_new[0], "c");
+  EXPECT_EQ(r.regressions, 0);  // absence is a warning, not a gate
+}
+
+TEST(Diff, RelScaleLoosensEveryRelativeThreshold) {
+  const std::map<std::string, double> old_run = {
+      {"serving.throughput_rps", 100.0}};
+  const std::map<std::string, double> new_run = {
+      {"serving.throughput_rps", 60.0}};  // -40%: beyond rel 0.35
+  EXPECT_EQ(Diff(old_run, new_run, DefaultRules(), 1.0).regressions, 1);
+  EXPECT_EQ(Diff(old_run, new_run, DefaultRules(), 2.0).regressions, 0);
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace shflbw

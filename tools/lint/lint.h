@@ -30,7 +30,11 @@
 //                     Class::Name) are exempt: the attribute binds at
 //                     the in-class declaration.
 //   logging           std::cout / std::cerr / printf only in
-//                     src/common/logging.cpp (the one sanctioned sink);
+//                     src/common/logging.cpp (the one sanctioned sink),
+//                     and file output (ofstream / fopen / fwrite /
+//                     freopen) only in the sanctioned dump sinks
+//                     (logging, obs/trace, obs/statusz,
+//                     obs/flight_recorder, format/serialize);
 //                     bench/, examples/ and tests/ are out of scope.
 //   bad-suppression   a malformed SHFLBW_LINT_ALLOW comment (missing
 //                     or empty justification, unknown rule name).

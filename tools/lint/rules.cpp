@@ -488,9 +488,35 @@ void CheckLogging(const Pass& p) {
   static const std::set<std::string> kStreams = {"cout", "cerr", "clog"};
   static const std::set<std::string> kCalls = {"printf", "fprintf", "puts",
                                                "fputs", "putchar"};
+  // File output is confined to the sanctioned dump sinks: the logger,
+  // trace/statusz/flight-recorder dumps, and weight serialization.
+  // Everything else in src/ opening or writing files is a smuggled
+  // side channel the operator can't find, rotate, or turn off.
+  static const std::set<std::string> kFileSinks = {
+      "src/common/logging.cpp",    "src/obs/trace.cpp",
+      "src/obs/statusz.cpp",       "src/obs/flight_recorder.cpp",
+      "src/format/serialize.cpp"};
+  static const std::set<std::string> kFileWriters = {"ofstream", "fopen",
+                                                     "fwrite", "freopen"};
+  const bool file_sink = kFileSinks.count(p.path) > 0;
   for (std::size_t i = 0; i < p.toks.size(); ++i) {
     const Token& t = p.toks[i];
     if (t.kind != TokKind::kIdent) continue;
+    if (!file_sink && kFileWriters.count(t.text)) {
+      const bool is_type = t.text == "ofstream";
+      const bool is_call = p.IsPunct(p.NextCode(i), '(');
+      std::size_t prev = p.PrevCode(i);
+      const bool member = prev != static_cast<std::size_t>(-1) &&
+                          (p.IsPunct(prev, '.') || p.IsPunct(prev, '>'));
+      if ((is_type || is_call) && !member) {
+        p.Report(t.line, kLogging,
+                 "'" + t.text +
+                     "' opens a file in library code; file output is "
+                     "confined to the sanctioned sinks (logging, trace, "
+                     "statusz, flight recorder, serialize)");
+        continue;
+      }
+    }
     if (kStreams.count(t.text) && p.StdQualified(i)) {
       p.Report(t.line, kLogging,
                "std::" + t.text +
